@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the hot security primitives: the
+//! from-scratch SipHash, CME encryption, node codecs, dummy-counter
+//! summation and MAC constructions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use scue_crypto::cme::{self, CounterBlock};
+use scue_crypto::hmac::{data_line_hmac, sit_node_hmac};
+use scue_crypto::siphash::siphash24;
+use scue_crypto::SecretKey;
+use scue_itree::SitNode;
+
+fn bench_siphash(c: &mut Criterion) {
+    let key = SecretKey::from_seed(1);
+    let data = [0xA5u8; 64];
+    let mut group = c.benchmark_group("siphash24");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("64B line", |b| {
+        b.iter(|| siphash24(black_box(&key), black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_cme(c: &mut Criterion) {
+    let key = SecretKey::from_seed(2);
+    let mut ctr = CounterBlock::new();
+    ctr.increment(5).unwrap();
+    let plain = [0x5Au8; 64];
+    let mut group = c.benchmark_group("cme");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("encrypt_line", |b| {
+        b.iter(|| cme::encrypt_line(black_box(&key), 0x1000, black_box(&ctr), 5, &plain))
+    });
+    group.bench_function("counter_increment", |b| {
+        let mut block = CounterBlock::new();
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 64;
+            let _ = block.increment(slot);
+        })
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut node = SitNode::new();
+    for i in 0..8 {
+        node.set_counter(i, 0x1234_5678 * (i as u64 + 1));
+    }
+    node.hmac = 0xDEAD_BEEF;
+    let line = node.to_line();
+    let mut block = CounterBlock::new();
+    for i in 0..64 {
+        block.increment(i).unwrap();
+    }
+    let block_line = block.to_line();
+    let mut group = c.benchmark_group("codecs");
+    group.bench_function("sit_node_roundtrip", |b| {
+        b.iter(|| SitNode::from_line(black_box(&line)).to_line())
+    });
+    group.bench_function("counter_block_roundtrip", |b| {
+        b.iter(|| CounterBlock::from_line(black_box(&block_line)).to_line())
+    });
+    group.bench_function("dummy_counter_sum", |b| {
+        b.iter(|| black_box(&node).counter_sum())
+    });
+    group.bench_function("leaf_write_count", |b| {
+        b.iter(|| black_box(&block).write_count())
+    });
+    group.finish();
+}
+
+fn bench_macs(c: &mut Criterion) {
+    let key = SecretKey::from_seed(3);
+    let counters = [7u64; 8];
+    let cipher = [0xC3u8; 64];
+    let mut group = c.benchmark_group("macs");
+    group.bench_function("sit_node_hmac", |b| {
+        b.iter(|| sit_node_hmac(black_box(&key), 0x4000, black_box(&counters), 42))
+    });
+    group.bench_function("data_line_hmac", |b| {
+        b.iter(|| data_line_hmac(black_box(&key), 0x80, black_box(&cipher), 9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_siphash, bench_cme, bench_codecs, bench_macs);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 9: write latencies on every workload, normalised to Baseline.
+//!
+//! Paper reference (averages): PLP 2.74×, Lazy 1.29×, BMF-ideal 1.21×,
+//! SCUE 1.12×.
+
+use scue_bench::{banner, parallel_sweep, print_scheme_table, scale, seed};
+use scue_sim::experiment::{scheme_comparison_row, Metric};
+use scue_workloads::Workload;
+
+fn main() {
+    banner("Fig. 9 — write latency normalised to Baseline");
+    let rows = parallel_sweep(&Workload::ALL, |w| {
+        scheme_comparison_row(Metric::WriteLatency, w, scale(), seed())
+    });
+    print_scheme_table(&rows);
+    println!();
+    println!("paper means: PLP 2.74, Lazy 1.29, BMF-ideal 1.21, SCUE 1.12");
+}

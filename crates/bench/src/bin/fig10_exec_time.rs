@@ -1,0 +1,18 @@
+//! Fig. 10: execution time on every workload, normalised to Baseline.
+//!
+//! Paper reference (averages): PLP 1.96×, Lazy 1.17×, BMF-ideal 1.11×,
+//! SCUE 1.07×.
+
+use scue_bench::{banner, parallel_sweep, print_scheme_table, scale, seed};
+use scue_sim::experiment::{scheme_comparison_row, Metric};
+use scue_workloads::Workload;
+
+fn main() {
+    banner("Fig. 10 — execution time normalised to Baseline");
+    let rows = parallel_sweep(&Workload::ALL, |w| {
+        scheme_comparison_row(Metric::ExecTime, w, scale(), seed())
+    });
+    print_scheme_table(&rows);
+    println!();
+    println!("paper means: PLP 1.96, Lazy 1.17, BMF-ideal 1.11, SCUE 1.07");
+}

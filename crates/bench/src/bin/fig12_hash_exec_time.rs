@@ -1,0 +1,40 @@
+//! Fig. 12: SCUE execution time vs. hash latency {20,40,80,160} cycles,
+//! normalised to the 20-cycle run.
+//!
+//! Paper reference: 1.14× at 160 cycles.
+
+use scue_bench::{banner, parallel_sweep, scale, seed};
+use scue_crypto::engine::PAPER_HASH_LATENCIES;
+use scue_sim::experiment::{hash_latency_sweep, Metric};
+use scue_workloads::Workload;
+
+fn main() {
+    banner("Fig. 12 — SCUE execution time vs. hash latency (norm. to 20 cyc)");
+    let rows = parallel_sweep(&Workload::ALL, |w| {
+        hash_latency_sweep(Metric::ExecTime, &[w], scale(), seed())
+            .pop()
+            .expect("one row per workload")
+    });
+    print!("{:>12}", "workload");
+    for lat in PAPER_HASH_LATENCIES {
+        print!(" {:>9}", format!("{lat}_hash"));
+    }
+    println!();
+    let mut sums = [0.0f64; 4];
+    for row in &rows {
+        print!("{:>12}", row.workload.name());
+        for (i, (_, v)) in row.points.iter().enumerate() {
+            print!(" {:>9.3}", v);
+            sums[i] += v;
+        }
+        println!();
+    }
+    println!("{:->52}", "");
+    print!("{:>12}", "mean");
+    for s in sums {
+        print!(" {:>9.3}", s / rows.len() as f64);
+    }
+    println!();
+    println!();
+    println!("paper: 1.14x at 160 cycles");
+}

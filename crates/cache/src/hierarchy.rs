@@ -1,0 +1,428 @@
+//! The core-side data-cache hierarchy (timing only).
+//!
+//! Table II: per-core L1 64 KB 2-way and L2 512 KB 8-way, shared L3 4 MB
+//! 8-way, all 64 B blocks with LRU. The hierarchy is write-back /
+//! write-allocate and inclusive-ish (fills populate every level; evictions
+//! cascade downward). User data content lives in the functional NVM store —
+//! the hierarchy only tracks presence and dirtiness, which is all the
+//! timing model needs.
+//!
+//! Dirty lines leaving L3, and lines forced out by explicit persists
+//! (`clwb`), surface as [`AccessResult::writebacks`]: these are exactly the
+//! "persisted user data" events that drive integrity-tree leaf updates in
+//! every scheme.
+
+use crate::set_assoc::SetAssocCache;
+use scue_nvm::{Cycle, LineAddr};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSide {
+    /// Hit in the private L1.
+    L1,
+    /// Hit in the private L2.
+    L2,
+    /// Hit in the shared L3.
+    L3,
+    /// Missed everywhere; needs a memory-side (secure) fill.
+    Memory,
+}
+
+/// Outcome of one load/store through the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Which level satisfied the access.
+    pub served_by: MemSide,
+    /// Cache lookup latency (excludes any memory-side fill the caller
+    /// performs when `served_by == Memory`).
+    pub latency: Cycle,
+    /// Dirty user-data lines pushed out to memory by this access; the
+    /// caller routes them through the secure write path.
+    pub writebacks: Vec<LineAddr>,
+}
+
+/// Geometry and latencies of the three-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 size in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency, cycles.
+    pub l1_latency: Cycle,
+    /// Private L2 size in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency, cycles.
+    pub l2_latency: Cycle,
+    /// Shared L3 size in bytes.
+    pub l3_bytes: usize,
+    /// L3 associativity.
+    pub l3_ways: usize,
+    /// L3 hit latency, cycles.
+    pub l3_latency: Cycle,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table II configuration.
+    pub fn paper() -> Self {
+        Self {
+            l1_bytes: 64 * 1024,
+            l1_ways: 2,
+            l1_latency: 4,
+            l2_bytes: 512 * 1024,
+            l2_ways: 8,
+            l2_latency: 12,
+            l3_bytes: 4 * 1024 * 1024,
+            l3_ways: 8,
+            l3_latency: 30,
+        }
+    }
+
+    /// A tiny hierarchy for unit tests (few lines per level).
+    pub fn tiny() -> Self {
+        Self {
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l1_latency: 1,
+            l2_bytes: 8 * 64,
+            l2_ways: 2,
+            l2_latency: 3,
+            l3_bytes: 16 * 64,
+            l3_ways: 4,
+            l3_latency: 5,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-level hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by L3.
+    pub l3_hits: u64,
+    /// Accesses that went to memory.
+    pub mem_accesses: u64,
+}
+
+/// The multi-core data hierarchy: per-core L1/L2, shared L3.
+///
+/// # Example
+///
+/// ```
+/// use scue_cache::{DataHierarchy, HierarchyConfig, MemSide};
+/// use scue_nvm::LineAddr;
+///
+/// let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
+/// let first = h.access(0, LineAddr::new(0), false);
+/// assert_eq!(first.served_by, MemSide::Memory);
+/// let second = h.access(0, LineAddr::new(0), false);
+/// assert_eq!(second.served_by, MemSide::L1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataHierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache<()>>,
+    l2: Vec<SetAssocCache<()>>,
+    l3: SetAssocCache<()>,
+    stats: HierarchyStats,
+}
+
+impl DataHierarchy {
+    /// Builds a hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(config: HierarchyConfig, cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        Self {
+            config,
+            l1: (0..cores)
+                .map(|_| SetAssocCache::with_bytes(config.l1_bytes, config.l1_ways))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| SetAssocCache::with_bytes(config.l2_bytes, config.l2_ways))
+                .collect(),
+            l3: SetAssocCache::with_bytes(config.l3_bytes, config.l3_ways),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Per-level statistics so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Performs one load (`is_write == false`) or store through the
+    /// hierarchy for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: LineAddr, is_write: bool) -> AccessResult {
+        let cfg = self.config;
+        let mut writebacks = Vec::new();
+        let (served_by, latency) = if self.l1[core].get(addr).is_some() {
+            self.stats.l1_hits += 1;
+            (MemSide::L1, cfg.l1_latency)
+        } else if self.l2[core].get(addr).is_some() {
+            self.stats.l2_hits += 1;
+            self.fill_l1(core, addr, &mut writebacks);
+            (MemSide::L2, cfg.l1_latency + cfg.l2_latency)
+        } else if self.l3.get(addr).is_some() {
+            self.stats.l3_hits += 1;
+            self.fill_l2(core, addr, &mut writebacks);
+            self.fill_l1(core, addr, &mut writebacks);
+            (
+                MemSide::L3,
+                cfg.l1_latency + cfg.l2_latency + cfg.l3_latency,
+            )
+        } else {
+            self.stats.mem_accesses += 1;
+            self.fill_l3(addr, &mut writebacks);
+            self.fill_l2(core, addr, &mut writebacks);
+            self.fill_l1(core, addr, &mut writebacks);
+            (
+                MemSide::Memory,
+                cfg.l1_latency + cfg.l2_latency + cfg.l3_latency,
+            )
+        };
+        if is_write {
+            self.l1[core].mark_dirty(addr);
+        }
+        AccessResult {
+            served_by,
+            latency,
+            writebacks,
+        }
+    }
+
+    fn fill_l1(&mut self, core: usize, addr: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(victim) = self.l1[core].insert(addr, (), false) {
+            if victim.dirty {
+                // Dirty L1 victim lands dirty in L2 (it is resident there
+                // in an inclusive hierarchy; insert refreshes it).
+                if let Some(v2) = self.l2[core].insert(victim.addr, (), true) {
+                    if v2.dirty {
+                        self.spill_to_l3(v2.addr, writebacks);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, core: usize, addr: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(victim) = self.l2[core].insert(addr, (), false) {
+            if victim.dirty {
+                self.spill_to_l3(victim.addr, writebacks);
+            }
+        }
+    }
+
+    fn fill_l3(&mut self, addr: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(victim) = self.l3.insert(addr, (), false) {
+            if victim.dirty {
+                writebacks.push(victim.addr);
+            }
+        }
+    }
+
+    fn spill_to_l3(&mut self, addr: LineAddr, writebacks: &mut Vec<LineAddr>) {
+        if let Some(victim) = self.l3.insert(addr, (), true) {
+            if victim.dirty {
+                writebacks.push(victim.addr);
+            }
+        }
+    }
+
+    /// Explicitly flushes `addr` (the `clwb` in a persist barrier): if the
+    /// line is dirty anywhere it is cleaned and returned for the secure
+    /// write path; clean or absent lines return `None`.
+    ///
+    /// The line stays resident (clwb semantics: write back, do not evict).
+    pub fn flush_line(&mut self, core: usize, addr: LineAddr) -> Option<LineAddr> {
+        let mut was_dirty = false;
+        if let Some(ev) = self.l1[core].invalidate(addr) {
+            was_dirty |= ev.dirty;
+            self.l1[core].insert(addr, (), false);
+        }
+        if let Some(ev) = self.l2[core].invalidate(addr) {
+            was_dirty |= ev.dirty;
+            self.l2[core].insert(addr, (), false);
+        }
+        if let Some(ev) = self.l3.invalidate(addr) {
+            was_dirty |= ev.dirty;
+            self.l3.insert(addr, (), false);
+        }
+        was_dirty.then_some(addr)
+    }
+
+    /// Drains every dirty line in the whole hierarchy (end-of-run
+    /// writeback, or the eADR crash flush). Lines stay resident but clean.
+    pub fn flush_all_dirty(&mut self) -> Vec<LineAddr> {
+        let mut dirty: Vec<LineAddr> = Vec::new();
+        for core in 0..self.l1.len() {
+            for cache in [&mut self.l1[core], &mut self.l2[core]] {
+                for ev in cache.drain_all() {
+                    if ev.dirty {
+                        dirty.push(ev.addr);
+                    }
+                }
+            }
+        }
+        for ev in self.l3.drain_all() {
+            if ev.dirty {
+                dirty.push(ev.addr);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Discards all cached state (a crash *without* eADR).
+    pub fn discard_all(&mut self) {
+        for cache in &mut self.l1 {
+            cache.discard_all();
+        }
+        for cache in &mut self.l2 {
+            cache.discard_all();
+        }
+        self.l3.discard_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> DataHierarchy {
+        DataHierarchy::new(HierarchyConfig::tiny(), 2)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut h = hierarchy();
+        assert_eq!(h.access(0, LineAddr::new(0), false).served_by, MemSide::Memory);
+        assert_eq!(h.access(0, LineAddr::new(0), false).served_by, MemSide::L1);
+    }
+
+    #[test]
+    fn l3_is_shared_across_cores() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), false);
+        let r = h.access(1, LineAddr::new(0), false);
+        assert_eq!(r.served_by, MemSide::L3, "core 1 finds core 0's fill in L3");
+    }
+
+    #[test]
+    fn l1_is_private() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), false);
+        // Core 1's first access can't be an L1/L2 hit.
+        let r = h.access(1, LineAddr::new(0), false);
+        assert_ne!(r.served_by, MemSide::L1);
+        assert_ne!(r.served_by, MemSide::L2);
+    }
+
+    #[test]
+    fn dirty_line_eventually_writes_back() {
+        let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
+        h.access(0, LineAddr::new(0), true);
+        // Thrash far more lines than total capacity to force 0 out of L3.
+        let mut writebacks = Vec::new();
+        for i in 1..200 {
+            writebacks.extend(h.access(0, LineAddr::new(i), false).writebacks);
+        }
+        assert!(
+            writebacks.contains(&LineAddr::new(0)),
+            "dirty line must surface as a memory writeback"
+        );
+    }
+
+    #[test]
+    fn clean_lines_never_write_back() {
+        let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
+        let mut writebacks = Vec::new();
+        for i in 0..200 {
+            writebacks.extend(h.access(0, LineAddr::new(i), false).writebacks);
+        }
+        assert!(writebacks.is_empty());
+    }
+
+    #[test]
+    fn flush_line_returns_dirty_only() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), true);
+        h.access(0, LineAddr::new(1), false);
+        assert_eq!(h.flush_line(0, LineAddr::new(0)), Some(LineAddr::new(0)));
+        assert_eq!(h.flush_line(0, LineAddr::new(1)), None);
+        // A second flush of the same line is clean.
+        assert_eq!(h.flush_line(0, LineAddr::new(0)), None);
+    }
+
+    #[test]
+    fn flush_keeps_line_resident() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), true);
+        h.flush_line(0, LineAddr::new(0));
+        assert_eq!(h.access(0, LineAddr::new(0), false).served_by, MemSide::L1);
+    }
+
+    #[test]
+    fn flush_all_dirty_dedups() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), true);
+        h.access(0, LineAddr::new(1), true);
+        h.access(1, LineAddr::new(2), true);
+        let dirty = h.flush_all_dirty();
+        assert_eq!(
+            dirty,
+            vec![LineAddr::new(0), LineAddr::new(1), LineAddr::new(2)]
+        );
+    }
+
+    #[test]
+    fn discard_all_loses_dirty_data() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), true);
+        h.discard_all();
+        assert!(h.flush_all_dirty().is_empty());
+    }
+
+    #[test]
+    fn latency_grows_with_depth() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), false);
+        h.access(1, LineAddr::new(0), false);
+        let l1 = h.access(0, LineAddr::new(0), false).latency;
+        let l3_path = h.access(1, LineAddr::new(0), false).latency; // now L1 for core 1
+        assert!(l1 <= l3_path);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr::new(0), false);
+        h.access(0, LineAddr::new(0), false);
+        let s = h.stats();
+        assert_eq!(s.mem_accesses, 1);
+        assert_eq!(s.l1_hits, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Cache substrate: set-associative LRU caches for data and metadata.
+//!
+//! Three cache roles appear in the evaluated system (Table II):
+//!
+//! * the **data hierarchy** — per-core L1 (64 KB, 2-way) and L2 (512 KB,
+//!   8-way) plus a shared L3 (4 MB, 8-way), 64 B blocks, LRU — modelled for
+//!   *timing* only in [`hierarchy`];
+//! * the **metadata cache** — 256 KB, 8-way, in the memory controller,
+//!   holding counter blocks and integrity-tree nodes *by content* (the
+//!   update schemes read and mutate cached nodes), in [`metadata`];
+//! * both are built on the generic content-carrying LRU in [`set_assoc`].
+//!
+//! Cached (on-chip) state is inside the trusted domain: nodes resident in
+//! the metadata cache are *trusted bases* for verification (§II-D4), and
+//! everything here is volatile — lost on crash unless eADR flushes it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod metadata;
+pub mod set_assoc;
+
+pub use hierarchy::{DataHierarchy, HierarchyConfig, MemSide};
+pub use metadata::MetadataCache;
+pub use set_assoc::{Eviction, SetAssocCache};

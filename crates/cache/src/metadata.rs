@@ -1,0 +1,179 @@
+//! The memory-controller metadata cache (Table II: 256 KB, 8-way, 64 B).
+//!
+//! Holds security metadata — counter blocks and integrity-tree nodes — *by
+//! content*: the update schemes mutate cached nodes in place (increment a
+//! counter, recompute an HMAC) and only materialize bytes when a node is
+//! flushed to NVM. Resident nodes are inside the trusted on-chip domain,
+//! so they serve as verification bases without re-checking (§IV-A1).
+//!
+//! The payload type `V` is supplied by the scheme layer (a decoded node).
+//! Every eviction of a dirty node is where the paper's schemes diverge:
+//! Lazy reads ancestors to verify, SCUE builds a dummy counter instead —
+//! the cache just hands the victim back to the scheme.
+
+use crate::set_assoc::{Eviction, SetAssocCache};
+use scue_nvm::LineAddr;
+
+/// The metadata cache in the memory controller.
+///
+/// A thin policy wrapper over [`SetAssocCache`] with hardware-style byte
+/// sizing and a fetch-count statistic (metadata fetches from NVM dominate
+/// recovery time, §V-D).
+///
+/// # Example
+///
+/// ```
+/// use scue_cache::MetadataCache;
+/// use scue_nvm::LineAddr;
+///
+/// let mut mdc: MetadataCache<u32> = MetadataCache::with_bytes(8 * 64, 2);
+/// mdc.insert(LineAddr::new(1), 11, true);
+/// assert_eq!(mdc.get(LineAddr::new(1)), Some(&11));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataCache<V> {
+    inner: SetAssocCache<V>,
+    fills: u64,
+}
+
+impl<V> MetadataCache<V> {
+    /// The paper's 256 KB, 8-way configuration.
+    pub fn paper() -> Self {
+        Self::with_bytes(256 * 1024, 8)
+    }
+
+    /// A cache of `capacity_bytes` with the given associativity.
+    pub fn with_bytes(capacity_bytes: usize, ways: usize) -> Self {
+        Self {
+            inner: SetAssocCache::with_bytes(capacity_bytes, ways),
+            fills: 0,
+        }
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no metadata is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Looks up a node, refreshing LRU.
+    pub fn get(&mut self, addr: LineAddr) -> Option<&V> {
+        self.inner.get(addr)
+    }
+
+    /// Looks up a node mutably, refreshing LRU and marking it dirty — the
+    /// path every counter increment takes.
+    pub fn get_mut_dirty(&mut self, addr: LineAddr) -> Option<&mut V> {
+        self.inner.get_mut_dirty(addr)
+    }
+
+    /// Residency probe without LRU or stats effects.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.inner.contains(addr)
+    }
+
+    /// Inserts a node fetched from NVM (or freshly created); returns the
+    /// victim the scheme must flush if one was evicted.
+    pub fn insert(&mut self, addr: LineAddr, value: V, dirty: bool) -> Option<Eviction<V>> {
+        self.fills += 1;
+        self.inner.insert(addr, value, dirty)
+    }
+
+    /// Marks a resident node dirty; returns whether it was resident.
+    pub fn mark_dirty(&mut self, addr: LineAddr) -> bool {
+        self.inner.mark_dirty(addr)
+    }
+
+    /// Removes a node (e.g., a forced flush), returning it if resident.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<Eviction<V>> {
+        self.inner.invalidate(addr)
+    }
+
+    /// Drains every resident node — end-of-run flush or the eADR crash
+    /// path (contents reach NVM, but *no computation* happens, §III-C).
+    pub fn drain_all(&mut self) -> Vec<Eviction<V>> {
+        self.inner.drain_all()
+    }
+
+    /// Discards all resident nodes (crash without eADR).
+    pub fn discard_all(&mut self) {
+        self.inner.discard_all()
+    }
+
+    /// Iterates over resident nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V, bool)> {
+        self.inner.iter()
+    }
+
+    /// (lookup hits, lookup misses, total fills).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let (h, m) = self.inner.stats();
+        (h, m, self.fills)
+    }
+}
+
+impl<V> Default for MetadataCache<V> {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacity() {
+        let mdc: MetadataCache<()> = MetadataCache::paper();
+        assert_eq!(mdc.capacity(), 256 * 1024 / 64);
+    }
+
+    #[test]
+    fn dirty_eviction_surfaces() {
+        let mut mdc: MetadataCache<u8> = MetadataCache::with_bytes(64, 1); // 1 line
+        mdc.insert(LineAddr::new(0), 1, true);
+        let ev = mdc.insert(LineAddr::new(1), 2, false).expect("evicts");
+        assert_eq!(ev.addr, LineAddr::new(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn get_mut_marks_dirty() {
+        let mut mdc: MetadataCache<u8> = MetadataCache::with_bytes(2 * 64, 2);
+        mdc.insert(LineAddr::new(0), 1, false);
+        *mdc.get_mut_dirty(LineAddr::new(0)).unwrap() += 1;
+        let ev = mdc.invalidate(LineAddr::new(0)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.value, 2);
+    }
+
+    #[test]
+    fn fills_counted() {
+        let mut mdc: MetadataCache<u8> = MetadataCache::with_bytes(2 * 64, 2);
+        mdc.insert(LineAddr::new(0), 1, false);
+        mdc.insert(LineAddr::new(1), 2, false);
+        let (_, _, fills) = mdc.stats();
+        assert_eq!(fills, 2);
+    }
+
+    #[test]
+    fn drain_and_discard() {
+        let mut mdc: MetadataCache<u8> = MetadataCache::with_bytes(4 * 64, 2);
+        mdc.insert(LineAddr::new(0), 1, true);
+        mdc.insert(LineAddr::new(1), 2, false);
+        assert_eq!(mdc.drain_all().len(), 2);
+        assert!(mdc.is_empty());
+        mdc.insert(LineAddr::new(2), 3, true);
+        mdc.discard_all();
+        assert!(mdc.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! A generic set-associative LRU cache carrying per-line payloads.
+//!
+//! The payload type `V` is whatever the layer above caches: `()` for the
+//! timing-only data hierarchy, a decoded metadata line for the metadata
+//! cache. Dirty lines are returned on eviction so the owner can perform
+//! writebacks (and, for metadata, the scheme-specific flush work that the
+//! whole paper is about).
+
+use scue_nvm::LineAddr;
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<V> {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Its payload at eviction time.
+    pub value: V,
+    /// Whether it was modified since insertion (needs writeback).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    addr: LineAddr,
+    value: V,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Set-associative LRU cache keyed by [`LineAddr`].
+///
+/// # Example
+///
+/// ```
+/// use scue_cache::SetAssocCache;
+/// use scue_nvm::LineAddr;
+///
+/// let mut cache: SetAssocCache<u32> = SetAssocCache::new(2, 2); // 2 sets, 2 ways
+/// cache.insert(LineAddr::new(0), 10, false);
+/// assert_eq!(cache.get(LineAddr::new(0)), Some(&10));
+/// assert_eq!(cache.get(LineAddr::new(2)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    sets: Vec<Vec<Slot<V>>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "need at least one set");
+        assert!(ways > 0, "need at least one way");
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates a cache sized like hardware: `capacity_bytes` split into
+    /// 64 B lines with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is zero.
+    pub fn with_bytes(capacity_bytes: usize, ways: usize) -> Self {
+        let lines = capacity_bytes / scue_nvm::LINE_BYTES;
+        let sets = lines / ways;
+        Self::new(sets, ways)
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) observed by `get`/`get_mut`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.raw() % self.sets.len() as u64) as usize
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a line, refreshing its LRU position.
+    pub fn get(&mut self, addr: LineAddr) -> Option<&V> {
+        let stamp = self.next_stamp();
+        let set = self.set_index(addr);
+        match self.sets[set].iter_mut().find(|s| s.addr == addr) {
+            Some(slot) => {
+                slot.stamp = stamp;
+                self.hits += 1;
+                Some(&slot.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a line mutably, refreshing LRU and marking it dirty.
+    pub fn get_mut_dirty(&mut self, addr: LineAddr) -> Option<&mut V> {
+        let stamp = self.next_stamp();
+        let set = self.set_index(addr);
+        match self.sets[set].iter_mut().find(|s| s.addr == addr) {
+            Some(slot) => {
+                slot.stamp = stamp;
+                slot.dirty = true;
+                self.hits += 1;
+                Some(&mut slot.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without disturbing LRU or statistics.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .any(|s| s.addr == addr)
+    }
+
+    /// Inserts (or updates) a line, returning the victim if one had to be
+    /// evicted. Updating an existing line ORs in `dirty`.
+    pub fn insert(&mut self, addr: LineAddr, value: V, dirty: bool) -> Option<Eviction<V>> {
+        let stamp = self.next_stamp();
+        let ways = self.ways;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.addr == addr) {
+            slot.value = value;
+            slot.dirty |= dirty;
+            slot.stamp = stamp;
+            return None;
+        }
+        let victim = if set.len() >= ways {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .expect("set is non-empty");
+            let slot = set.swap_remove(idx);
+            Some(Eviction {
+                addr: slot.addr,
+                value: slot.value,
+                dirty: slot.dirty,
+            })
+        } else {
+            None
+        };
+        set.push(Slot {
+            addr,
+            value,
+            dirty,
+            stamp,
+        });
+        victim
+    }
+
+    /// Marks a resident line dirty; returns whether it was resident.
+    pub fn mark_dirty(&mut self, addr: LineAddr) -> bool {
+        let set = self.set_index(addr);
+        if let Some(slot) = self.sets[set].iter_mut().find(|s| s.addr == addr) {
+            slot.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a line, returning it if it was resident.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<Eviction<V>> {
+        let set = self.set_index(addr);
+        let idx = self.sets[set].iter().position(|s| s.addr == addr)?;
+        let slot = self.sets[set].swap_remove(idx);
+        Some(Eviction {
+            addr: slot.addr,
+            value: slot.value,
+            dirty: slot.dirty,
+        })
+    }
+
+    /// Drains every resident line (dirty and clean), emptying the cache —
+    /// the eADR flush path and the end-of-run writeback.
+    pub fn drain_all(&mut self) -> Vec<Eviction<V>> {
+        let mut out = Vec::with_capacity(self.len());
+        for set in &mut self.sets {
+            for slot in set.drain(..) {
+                out.push(Eviction {
+                    addr: slot.addr,
+                    value: slot.value,
+                    dirty: slot.dirty,
+                });
+            }
+        }
+        out
+    }
+
+    /// Discards every resident line without returning them — a crash
+    /// *without* eADR: volatile contents simply vanish.
+    pub fn discard_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over resident lines (no LRU effect).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V, bool)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| (s.addr, &s.value, s.dirty)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: usize, ways: usize) -> SetAssocCache<u64> {
+        SetAssocCache::new(sets, ways)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = cache(4, 2);
+        c.insert(LineAddr::new(5), 55, false);
+        assert_eq!(c.get(LineAddr::new(5)), Some(&55));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = cache(1, 2);
+        c.insert(LineAddr::new(0), 0, false);
+        c.insert(LineAddr::new(1), 1, false);
+        c.get(LineAddr::new(0)); // 0 is now most recent
+        let ev = c.insert(LineAddr::new(2), 2, false).expect("eviction");
+        assert_eq!(ev.addr, LineAddr::new(1));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = cache(1, 1);
+        c.insert(LineAddr::new(0), 0, true);
+        let ev = c.insert(LineAddr::new(1), 1, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn update_ors_dirty() {
+        let mut c = cache(1, 1);
+        c.insert(LineAddr::new(0), 0, true);
+        assert!(c.insert(LineAddr::new(0), 9, false).is_none());
+        let ev = c.invalidate(LineAddr::new(0)).unwrap();
+        assert!(ev.dirty, "a clean re-insert must not wash out dirtiness");
+        assert_eq!(ev.value, 9);
+    }
+
+    #[test]
+    fn get_mut_dirty_marks() {
+        let mut c = cache(1, 1);
+        c.insert(LineAddr::new(0), 1, false);
+        *c.get_mut_dirty(LineAddr::new(0)).unwrap() = 2;
+        let ev = c.invalidate(LineAddr::new(0)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.value, 2);
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru() {
+        let mut c = cache(1, 2);
+        c.insert(LineAddr::new(0), 0, false);
+        c.insert(LineAddr::new(1), 1, false);
+        assert!(c.contains(LineAddr::new(0)));
+        // 0 is still LRU despite the contains() probe.
+        let ev = c.insert(LineAddr::new(2), 2, false).unwrap();
+        assert_eq!(ev.addr, LineAddr::new(0));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = cache(2, 1);
+        c.insert(LineAddr::new(0), 0, false);
+        c.get(LineAddr::new(0));
+        c.get(LineAddr::new(1));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn drain_all_returns_everything_and_empties() {
+        let mut c = cache(2, 2);
+        c.insert(LineAddr::new(0), 0, true);
+        c.insert(LineAddr::new(1), 1, false);
+        let drained = c.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn discard_all_loses_content() {
+        let mut c = cache(2, 2);
+        c.insert(LineAddr::new(0), 0, true);
+        c.discard_all();
+        assert!(c.is_empty());
+        assert!(!c.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn with_bytes_sizing() {
+        // 256 KB, 8-way, 64 B lines = 4096 lines = 512 sets.
+        let c: SetAssocCache<()> = SetAssocCache::with_bytes(256 * 1024, 8);
+        assert_eq!(c.capacity(), 4096);
+    }
+
+    #[test]
+    fn addresses_map_to_distinct_sets() {
+        let mut c = cache(4, 1);
+        for i in 0..4 {
+            c.insert(LineAddr::new(i), i, false);
+        }
+        assert_eq!(c.len(), 4, "distinct sets must not conflict");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = SetAssocCache::<()>::new(1, 0);
+    }
+}

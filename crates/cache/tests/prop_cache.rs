@@ -1,0 +1,111 @@
+//! Property tests for the cache substrate against reference models.
+
+use proptest::prelude::*;
+use scue_cache::{DataHierarchy, HierarchyConfig, SetAssocCache};
+use scue_nvm::LineAddr;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// The cache never reports a value it was not given, and a resident
+    /// line always returns the latest inserted/updated value.
+    #[test]
+    fn cache_is_a_lossy_map(ops in proptest::collection::vec((0u64..32, any::<u16>()), 1..200)) {
+        let mut cache: SetAssocCache<u16> = SetAssocCache::new(4, 2);
+        let mut latest: HashMap<u64, u16> = HashMap::new();
+        for (addr, val) in ops {
+            cache.insert(LineAddr::new(addr), val, false);
+            latest.insert(addr, val);
+            if let Some(&got) = cache.get(LineAddr::new(addr)) {
+                prop_assert_eq!(got, *latest.get(&addr).unwrap());
+            } else {
+                prop_assert!(false, "line just inserted must be resident");
+            }
+        }
+        for addr in 0..32u64 {
+            if let Some(&got) = cache.get(LineAddr::new(addr)) {
+                prop_assert_eq!(got, *latest.get(&addr).unwrap(), "stale value surfaced");
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and every set respects its ways.
+    #[test]
+    fn capacity_invariant(
+        sets in 1usize..8,
+        ways in 1usize..8,
+        addrs in proptest::collection::vec(0u64..256, 1..300),
+    ) {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(sets, ways);
+        for addr in addrs {
+            cache.insert(LineAddr::new(addr), (), false);
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// Dirty data is conserved: every line marked dirty either remains
+    /// resident-dirty or was handed out through an eviction/drain.
+    #[test]
+    fn dirty_lines_are_conserved(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(2, 2);
+        let mut dirtied: HashSet<u64> = HashSet::new();
+        let mut surfaced: HashSet<u64> = HashSet::new();
+        for (addr, dirty) in ops {
+            if let Some(ev) = cache.insert(LineAddr::new(addr), (), dirty) {
+                if ev.dirty {
+                    surfaced.insert(ev.addr.raw());
+                }
+            }
+            if dirty {
+                dirtied.insert(addr);
+            }
+        }
+        for ev in cache.drain_all() {
+            if ev.dirty {
+                surfaced.insert(ev.addr.raw());
+            }
+        }
+        for addr in dirtied {
+            prop_assert!(
+                surfaced.contains(&addr),
+                "dirty line {addr} vanished without a writeback"
+            );
+        }
+    }
+
+    /// Hierarchy: a random access stream never loses dirty lines — every
+    /// written address eventually surfaces via writebacks or a final
+    /// flush, exactly once per "latest" version.
+    #[test]
+    fn hierarchy_conserves_dirty(ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..300)) {
+        let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
+        let mut written: HashSet<u64> = HashSet::new();
+        let mut surfaced: HashSet<u64> = HashSet::new();
+        for (addr, is_write) in ops {
+            let r = h.access(0, LineAddr::new(addr), is_write);
+            if is_write {
+                written.insert(addr);
+            }
+            for wb in r.writebacks {
+                surfaced.insert(wb.raw());
+            }
+        }
+        for wb in h.flush_all_dirty() {
+            surfaced.insert(wb.raw());
+        }
+        for addr in written {
+            prop_assert!(surfaced.contains(&addr), "written line {addr} never persisted");
+        }
+    }
+
+    /// Hierarchy accesses are idempotent on residency: an immediate
+    /// re-access of the same line always hits L1.
+    #[test]
+    fn reaccess_hits_l1(addrs in proptest::collection::vec(0u64..1024, 1..100)) {
+        let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
+        for addr in addrs {
+            h.access(0, LineAddr::new(addr), false);
+            let again = h.access(0, LineAddr::new(addr), false);
+            prop_assert_eq!(again.served_by, scue_cache::MemSide::L1);
+        }
+    }
+}

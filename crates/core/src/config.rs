@@ -1,0 +1,201 @@
+//! Configuration of the secure-memory engine.
+
+use scue_crypto::engine::DEFAULT_HASH_LATENCY;
+use scue_itree::TreeGeometry;
+
+/// The integrity-tree update scheme in force (§V-A's evaluated schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Insecure baseline: counter-mode encryption only, no integrity
+    /// verification (the paper's normalisation target).
+    Baseline,
+    /// Lazy SIT updates: only the parent of a persisted node is updated;
+    /// the root is touched only when a top-level node is flushed. No root
+    /// crash consistency.
+    Lazy,
+    /// Eager SIT updates: every persist propagates counters to the root.
+    /// Root crash-consistent *except* inside the propagation crash
+    /// window (§III-B).
+    Eager,
+    /// Persist-Level Parallelism (MICRO'20) retrofitted to SIT: eager
+    /// propagation plus persisting shadow copies of every branch node, so
+    /// consistency survives crashes — at heavy write cost.
+    Plp,
+    /// Bonsai Merkle Forest, ideal case (MICRO'21): every counter block's
+    /// parent is a persistent root in an unlimited non-volatile metadata
+    /// cache, eliminating all levels above L1.
+    BmfIdeal,
+    /// The paper's contribution: shortcut Recovery_root updates plus
+    /// dummy-counter (counter-summing) parent updates.
+    Scue,
+}
+
+impl SchemeKind {
+    /// All evaluated schemes, in the paper's figure order.
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Baseline,
+        SchemeKind::Plp,
+        SchemeKind::Lazy,
+        SchemeKind::Eager,
+        SchemeKind::BmfIdeal,
+        SchemeKind::Scue,
+    ];
+
+    /// The four secure schemes shown in Figs. 9–10 (plus Baseline as the
+    /// normalisation target).
+    pub const FIGURE_SCHEMES: [SchemeKind; 4] = [
+        SchemeKind::Plp,
+        SchemeKind::Lazy,
+        SchemeKind::BmfIdeal,
+        SchemeKind::Scue,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "Baseline",
+            SchemeKind::Lazy => "Lazy",
+            SchemeKind::Eager => "Eager",
+            SchemeKind::Plp => "PLP",
+            SchemeKind::BmfIdeal => "BMF-ideal",
+            SchemeKind::Scue => "SCUE",
+        }
+    }
+
+    /// Whether the scheme maintains an integrity tree at all.
+    pub fn is_secure(self) -> bool {
+        !matches!(self, SchemeKind::Baseline)
+    }
+
+    /// Whether the scheme guarantees the on-chip root (or equivalent
+    /// persistent trust base) is consistent with persisted leaves at
+    /// *every* instant — i.e., no crash window.
+    pub fn root_crash_consistent(self) -> bool {
+        matches!(self, SchemeKind::Plp | SchemeKind::BmfIdeal | SchemeKind::Scue)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct SecureMemConfig {
+    /// The update scheme.
+    pub scheme: SchemeKind,
+    /// Tree geometry (defines data capacity and tree height).
+    pub geometry: TreeGeometry,
+    /// Seed for the on-chip secret key.
+    pub key_seed: u64,
+    /// HMAC latency in cycles (Table II: {20, 40, 80, 160}, default 40).
+    pub hash_latency: u64,
+    /// Hash-engine issue ports (SIT computes branch HMACs in parallel).
+    pub hash_ports: u64,
+    /// Metadata cache capacity in bytes (Table II: 256 KB).
+    pub mdcache_bytes: usize,
+    /// Metadata cache associativity (Table II: 8).
+    pub mdcache_ways: usize,
+    /// Whether eADR is present: on crash, cache contents flush to NVM
+    /// (without any computation, §III-C). Without it only the WPQ drains.
+    pub eadr: bool,
+    /// User-data WPQ entries (Table II: 64).
+    pub user_wpq: usize,
+    /// Metadata WPQ entries (Table II: 10).
+    pub meta_wpq: usize,
+}
+
+impl SecureMemConfig {
+    /// The paper's Table II configuration for the given scheme.
+    pub fn paper(scheme: SchemeKind) -> Self {
+        Self {
+            scheme,
+            geometry: TreeGeometry::paper_16gb(),
+            key_seed: 0x5C0E,
+            hash_latency: DEFAULT_HASH_LATENCY,
+            hash_ports: 16,
+            mdcache_bytes: 256 * 1024,
+            mdcache_ways: 8,
+            eadr: false,
+            user_wpq: 64,
+            meta_wpq: 10,
+        }
+    }
+
+    /// A small geometry (64 leaves, 4096 data lines) for tests and
+    /// examples: full recovery scans stay fast.
+    pub fn small_test(scheme: SchemeKind) -> Self {
+        Self {
+            geometry: TreeGeometry::tiny(64),
+            mdcache_bytes: 16 * 64,
+            mdcache_ways: 2,
+            ..Self::paper(scheme)
+        }
+    }
+
+    /// Overrides the hash latency (Figs. 11–12 sensitivity study).
+    pub fn with_hash_latency(mut self, cycles: u64) -> Self {
+        self.hash_latency = cycles;
+        self
+    }
+
+    /// Enables eADR (§III-C discussion).
+    pub fn with_eadr(mut self, eadr: bool) -> Self {
+        self.eadr = eadr;
+        self
+    }
+
+    /// Overrides the metadata cache size (Fig. 13 sweep).
+    pub fn with_mdcache_bytes(mut self, bytes: usize) -> Self {
+        self.mdcache_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_ii() {
+        let cfg = SecureMemConfig::paper(SchemeKind::Scue);
+        assert_eq!(cfg.hash_latency, 40);
+        assert_eq!(cfg.mdcache_bytes, 256 * 1024);
+        assert_eq!(cfg.mdcache_ways, 8);
+        assert_eq!(cfg.user_wpq, 64);
+        assert_eq!(cfg.meta_wpq, 10);
+        assert_eq!(cfg.geometry.total_levels(), 9);
+    }
+
+    #[test]
+    fn scheme_properties() {
+        assert!(!SchemeKind::Baseline.is_secure());
+        assert!(SchemeKind::Scue.is_secure());
+        assert!(SchemeKind::Scue.root_crash_consistent());
+        assert!(!SchemeKind::Lazy.root_crash_consistent());
+        assert!(!SchemeKind::Eager.root_crash_consistent());
+        assert!(SchemeKind::Plp.root_crash_consistent());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SecureMemConfig::small_test(SchemeKind::Lazy)
+            .with_hash_latency(160)
+            .with_eadr(true)
+            .with_mdcache_bytes(4096);
+        assert_eq!(cfg.hash_latency, 160);
+        assert!(cfg.eadr);
+        assert_eq!(cfg.mdcache_bytes, 4096);
+        assert_eq!(cfg.scheme, SchemeKind::Lazy);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = SchemeKind::ALL.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"BMF-ideal"));
+        assert!(names.contains(&"SCUE"));
+        assert_eq!(format!("{}", SchemeKind::Plp), "PLP");
+    }
+}

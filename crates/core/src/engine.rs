@@ -1,0 +1,1235 @@
+//! The secure-memory engine: one functional+timing machine, six schemes.
+//!
+//! All schemes share a single functional layer — counter-mode encryption,
+//! write-through leaf counter blocks (Supermem-style, which the paper
+//! cites as the compatible counter-consistency mechanism), data MACs in
+//! the ECC sideband, and a uniform flush rule for intermediate SIT nodes
+//! (*parent counter := child's dummy counter; child MAC keyed by it*).
+//! What distinguishes the schemes is **when work happens and what the
+//! persistent trust base is**:
+//!
+//! * timing policy — which metadata reads, hashes and persists sit on the
+//!   write critical path (this produces Figs. 9–12);
+//! * root policy — whether/when the on-chip root learns about a persist
+//!   (this produces the crash-window behaviour of Fig. 5 and the recovery
+//!   outcomes of §III-B).
+//!
+//! The functional layer is deliberately identical across secure schemes —
+//! including the dummy-counter MAC convention that makes SIT
+//! reconstructable. The paper's Lazy/Eager SIT cannot be rebuilt at all
+//! (§III-D); granting them reconstructability makes our comparison
+//! *conservative*: they still fail recovery, purely from root crash
+//! inconsistency, which is the paper's headline problem.
+
+use crate::config::{SchemeKind, SecureMemConfig};
+use crate::meta::MetaEntry;
+use crate::recovery::{self, RecoveryReport};
+use crate::stats::EngineStats;
+use scue_cache::{Eviction, MetadataCache};
+use scue_crypto::cme::{self, CounterBlock, IncrementOutcome};
+use scue_crypto::engine::HashEngine;
+use scue_crypto::hmac::{bmt_child_hmac, data_line_hmac};
+use scue_crypto::SecretKey;
+use scue_itree::geometry::{NodeId, Parent};
+use scue_itree::{MacSideband, RootRegister, SitContext, SitNode};
+use scue_nvm::{AccessKind, Cycle, LineAddr, MemoryController};
+use std::collections::HashMap;
+
+/// One 64 B line of data.
+pub type Line = [u8; 64];
+
+/// Representative baseline write-request latency (queue wait + PCM
+/// service at the evaluation's load level) added to every recorded
+/// write-latency sample. Fig. 9's metric is the *scheme-added* latency
+/// beyond the data write's own acceptance, on top of this common floor;
+/// measuring raw media-completion times instead lets congestion feedback
+/// (a slower scheme submits writes more slowly, so its queues look
+/// emptier) invert the comparison — see EXPERIMENTS.md.
+const BASELINE_WRITE_SERVICE: u64 = 450;
+
+/// Latency of updating a BMF-ideal persistent root in the non-volatile
+/// metadata cache: an on-chip NV-register-array write, serialized after
+/// the parent-MAC hash (§VI — nvMC must be NV registers, not SRAM).
+const NVMC_WRITE_CYCLES: u64 = 60;
+
+/// An integrity-verification failure: tampering detected at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The line whose verification failed.
+    pub addr: LineAddr,
+    /// What failed.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integrity violation at {}: {}", self.addr, self.what)
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+/// A root update still inside its crash window (Eager/PLP).
+#[derive(Debug, Clone, Copy)]
+struct PendingRoot {
+    done: Cycle,
+    slot: usize,
+    delta: u64,
+}
+
+/// The secure-memory engine. See the crate docs for an end-to-end
+/// example.
+#[derive(Debug, Clone)]
+pub struct SecureMemory {
+    cfg: SecureMemConfig,
+    ctx: SitContext,
+    mc: MemoryController,
+    sideband: MacSideband,
+    mdcache: MetadataCache<MetaEntry>,
+    hash: HashEngine,
+    /// The (single) on-chip root for Lazy/Eager/PLP; SCUE's Running_root.
+    running_root: RootRegister,
+    /// SCUE's instantaneously-updated Recovery_root.
+    recovery_root: RootRegister,
+    /// BMF-ideal's persistent roots: leaf index → MAC of leaf content,
+    /// held in the unlimited non-volatile metadata cache.
+    nvmc: HashMap<u64, u64>,
+    pending_root: Vec<PendingRoot>,
+    /// Victim buffer: evicted *dirty* metadata parked until the end of
+    /// the current operation. Fetches consult it before NVM, so an
+    /// in-flight flush can never be observed half-applied; the drain at
+    /// operation end performs the actual fetch-free flushes.
+    victims: Vec<(LineAddr, MetaEntry)>,
+    crashed: bool,
+    stats: EngineStats,
+}
+
+impl SecureMemory {
+    /// Builds an engine from a configuration.
+    pub fn new(cfg: SecureMemConfig) -> Self {
+        let key = SecretKey::from_seed(cfg.key_seed);
+        let ctx = SitContext::new(cfg.geometry.clone(), key);
+        let mc = MemoryController::new(
+            scue_nvm::NvmStore::new(),
+            scue_nvm::timing::PcmDevice::paper(),
+            cfg.user_wpq,
+            cfg.meta_wpq,
+        );
+        let mdcache = MetadataCache::with_bytes(cfg.mdcache_bytes, cfg.mdcache_ways);
+        let hash = HashEngine::with_ports(cfg.hash_latency, cfg.hash_ports);
+        Self {
+            cfg,
+            ctx,
+            mc,
+            sideband: MacSideband::new(),
+            mdcache,
+            hash,
+            running_root: RootRegister::new(),
+            recovery_root: RootRegister::new(),
+            nvmc: HashMap::new(),
+            pending_root: Vec::new(),
+            victims: Vec::new(),
+            crashed: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SecureMemConfig {
+        &self.cfg
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> SchemeKind {
+        self.cfg.scheme
+    }
+
+    /// The SIT context (geometry + key).
+    pub fn context(&self) -> &SitContext {
+        &self.ctx
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.mem = self.mc.stats();
+        s.hashes = self.hash.issued();
+        s.mdcache = self.mdcache.stats();
+        s
+    }
+
+    /// The running root (trust base during execution).
+    pub fn running_root(&self) -> &RootRegister {
+        &self.running_root
+    }
+
+    /// SCUE's Recovery_root.
+    pub fn recovery_root(&self) -> &RootRegister {
+        &self.recovery_root
+    }
+
+    /// Whether the machine is in the crashed (pre-recovery) state.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Direct view of the NVM image (attack injection, inspection).
+    pub fn store(&self) -> &scue_nvm::NvmStore {
+        self.mc.store()
+    }
+
+    /// Mutable view of the NVM image (attack injection).
+    pub fn store_mut(&mut self) -> &mut scue_nvm::NvmStore {
+        self.mc.store_mut()
+    }
+
+    /// The MAC sideband (attack injection, inspection).
+    pub fn sideband(&self) -> &MacSideband {
+        &self.sideband
+    }
+
+    /// Mutable MAC sideband (attack injection).
+    pub fn sideband_mut(&mut self) -> &mut MacSideband {
+        &mut self.sideband
+    }
+
+    /// BMF-ideal's persistent-root store (leaf index → MAC).
+    pub fn nvmc_len(&self) -> usize {
+        self.nvmc.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Root settlement (the crash window)
+    // ------------------------------------------------------------------
+
+    /// Applies root updates whose propagation completed by `now`.
+    fn settle_pending(&mut self, now: Cycle) {
+        let mut applied = Vec::new();
+        self.pending_root.retain(|p| {
+            if p.done <= now {
+                applied.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        for p in applied {
+            self.running_root.add(p.slot, p.delta);
+        }
+    }
+
+    /// Root updates still inside their crash window at `now`.
+    pub fn pending_root_updates(&self, now: Cycle) -> usize {
+        self.pending_root.iter().filter(|p| p.done > now).count()
+    }
+
+    /// The *logical* root counter visible to on-chip verification: the
+    /// register plus in-flight propagations. The pending set models only
+    /// the crash window — hardware state that a power failure loses, but
+    /// that run-time verification on chip observes normally.
+    fn effective_root_counter(&self, slot: usize) -> u64 {
+        let pending: u64 = self
+            .pending_root
+            .iter()
+            .filter(|p| p.slot == slot)
+            .map(|p| p.delta)
+            .fold(0u64, |a, d| a.wrapping_add(d));
+        self.running_root
+            .counter(slot)
+            .wrapping_add(pending)
+            & scue_itree::COUNTER_MASK
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata-cache plumbing
+    // ------------------------------------------------------------------
+
+    fn meta_addr(&self, node: NodeId) -> LineAddr {
+        self.ctx.geometry().node_addr(node)
+    }
+
+    /// Parks a dirty eviction victim in the buffer (clean victims are
+    /// simply dropped — NVM already has their content).
+    fn buffer_victim(&mut self, victim: Option<Eviction<MetaEntry>>) {
+        if let Some(ev) = victim {
+            if ev.dirty {
+                self.victims.push((ev.addr, ev.value));
+            }
+        }
+    }
+
+    /// Takes a buffered victim back out (a victim-buffer hit on fetch).
+    fn take_victim(&mut self, addr: LineAddr) -> Option<MetaEntry> {
+        let idx = self.victims.iter().position(|(a, _)| *a == addr)?;
+        Some(self.victims.swap_remove(idx).1)
+    }
+
+    /// Drains the victim buffer: every parked entry is flushed with the
+    /// fetch-free atomic flush. Returns the completion cycle of the flush
+    /// work — Lazy/Eager/PLP take it on the write critical path, SCUE's
+    /// dummy counter keeps it off (§IV-A2).
+    fn drain_victims(&mut self, now: Cycle) -> Cycle {
+        let mut done = now;
+        while let Some((addr, entry)) = self.victims.pop() {
+            done = done.max(self.flush_entry(addr, entry, now));
+        }
+        done
+    }
+
+    /// Flushes one metadata entry to NVM. *Atomic*: performs no cache
+    /// fetches, so no verification or further eviction can interleave
+    /// with the child-MAC / parent-counter pair update.
+    fn flush_entry(&mut self, addr: LineAddr, entry: MetaEntry, now: Cycle) -> Cycle {
+        let mut done = now;
+        match entry {
+            MetaEntry::Leaf(block) => {
+                if !self.cfg.scheme.is_secure() {
+                    // Baseline: plain counter writeback, no MACs.
+                    let e = self
+                        .mc
+                        .write(addr, block.to_line(), now, AccessKind::Metadata);
+                    return done.max(e.accepted);
+                }
+                // Secure schemes write leaves through on persist, so a
+                // dirty cached leaf only arises transiently; flush it
+                // like a persist would.
+                let dummy = self.ctx.leaf_dummy(&block);
+                let node = self
+                    .ctx
+                    .geometry()
+                    .node_at_addr(addr)
+                    .expect("cached leaf has a node id");
+                let mac = self.ctx.leaf_mac(node, &block, dummy);
+                done = done.max(self.hash.parallel_latency(now, 1));
+                let e = self
+                    .mc
+                    .write(addr, block.to_line(), now, AccessKind::Metadata);
+                done = done.max(e.accepted);
+                self.sideband.set(addr, mac);
+                done = done.max(self.propagate_flush(node, dummy, now));
+            }
+            MetaEntry::Node(mut node_val) => {
+                let node = self
+                    .ctx
+                    .geometry()
+                    .node_at_addr(addr)
+                    .expect("cached node has a node id");
+                let dummy = node_val.counter_sum();
+                node_val.hmac = self.ctx.node_mac(node, &node_val, dummy);
+                done = done.max(self.hash.parallel_latency(now, 1));
+                let e = self
+                    .mc
+                    .write(addr, node_val.to_line(), now, AccessKind::Metadata);
+                done = done.max(e.accepted);
+                done = done.max(self.propagate_flush(node, dummy, now));
+            }
+        }
+        done
+    }
+
+    /// Applies the flush rule (*parent counter := child dummy*) upward
+    /// from `child`, updating cached ancestors in place and writing
+    /// uncached ones through to NVM. Fetch-free by construction. Returns
+    /// the completion cycle of the NVM traffic it generated.
+    fn propagate_flush(&mut self, child: NodeId, child_dummy: u64, now: Cycle) -> Cycle {
+        if !self.cfg.scheme.is_secure() || self.cfg.scheme == SchemeKind::BmfIdeal {
+            // BMF-ideal has no tree above L1; its persistent root is
+            // refreshed in the persist path.
+            return now;
+        }
+        let mut done = now;
+        let mut cur = child;
+        let mut dummy = child_dummy;
+        loop {
+            match self.ctx.geometry().parent(cur) {
+                Parent::Root(slot) => {
+                    // Lazy and SCUE maintain the running root via
+                    // top-level flushes; Eager/PLP account the root per
+                    // persist, so a flush-time overwrite would double
+                    // count.
+                    if matches!(self.cfg.scheme, SchemeKind::Lazy | SchemeKind::Scue) {
+                        self.running_root.set(slot, dummy);
+                    }
+                    return done;
+                }
+                Parent::Node(parent) => {
+                    let slot = cur.parent_slot();
+                    let paddr = self.meta_addr(parent);
+                    if let Some(MetaEntry::Node(n)) = self.mdcache.get_mut_dirty(paddr) {
+                        // The cached copy absorbs the update; its own
+                        // flush will continue the propagation later.
+                        n.set_counter(slot, dummy);
+                        return done;
+                    }
+                    if let Some(pos) = self.victims.iter().position(|(a, _)| *a == paddr) {
+                        // A parked victim absorbs the update; it flushes
+                        // later in this same drain.
+                        if let MetaEntry::Node(n) = &mut self.victims[pos].1 {
+                            n.set_counter(slot, dummy);
+                        }
+                        return done;
+                    }
+                    // Write-through: read-modify-write the parent in NVM
+                    // and keep climbing, since its dummy changed too.
+                    let (line, t_read) = self.mc.read(paddr, now, AccessKind::Metadata);
+                    let mut pnode = SitNode::from_line(&line);
+                    pnode.set_counter(slot, dummy);
+                    let pdummy = pnode.counter_sum();
+                    pnode.hmac = self.ctx.node_mac(parent, &pnode, pdummy);
+                    done = done.max(self.hash.parallel_latency(t_read, 1));
+                    let e = self
+                        .mc
+                        .write(paddr, pnode.to_line(), t_read, AccessKind::Metadata);
+                    done = done.max(e.accepted);
+                    cur = parent;
+                    dummy = pdummy;
+                }
+            }
+        }
+    }
+
+    /// Runs a mutation against the cached copy of `node`, (re)fetching it
+    /// if a flush cascade evicted it in the meantime, and marking it
+    /// dirty. Returns the closure's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metadata cache cannot retain the node at all (a
+    /// configuration far too small to hold one branch).
+    fn with_node_mut<R>(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        f: impl FnOnce(&mut SitNode) -> R,
+    ) -> Result<R, IntegrityError> {
+        let addr = self.meta_addr(node);
+        let mut f = Some(f);
+        for _ in 0..8 {
+            if let Some(MetaEntry::Node(n)) = self.mdcache.get_mut_dirty(addr) {
+                let f = f.take().expect("closure used once");
+                return Ok(f(n));
+            }
+            self.ensure_node_cached(node, now)?;
+        }
+        panic!("metadata cache cannot retain {node}; configure a larger cache");
+    }
+
+    /// Ensures intermediate node `node` is cached and verified; returns
+    /// the cycle its verification completed.
+    ///
+    /// Missing ancestors are read in parallel (their addresses are pure
+    /// geometry) and verified top-down in one parallel hash batch.
+    fn ensure_node_cached(&mut self, node: NodeId, now: Cycle) -> Result<Cycle, IntegrityError> {
+        if self.mdcache.contains(self.meta_addr(node)) {
+            return Ok(now);
+        }
+        // A victim-buffer hit reinstalls the parked (already-trusted)
+        // copy without an NVM fetch.
+        if let Some(entry) = self.take_victim(self.meta_addr(node)) {
+            let victim = self.mdcache.insert(self.meta_addr(node), entry, true);
+            self.buffer_victim(victim);
+            return Ok(now);
+        }
+        // Collect the missing suffix of the chain [node, parent, ...],
+        // stopping at a cached node or a victim-buffer hit (which gets
+        // reinstalled and becomes the trusted boundary).
+        let mut missing = vec![node];
+        let (chain, _root_slot) = self.ctx.geometry().ancestors(node);
+        for anc in chain {
+            let aaddr = self.meta_addr(anc);
+            if self.mdcache.contains(aaddr) {
+                break;
+            }
+            if let Some(entry) = self.take_victim(aaddr) {
+                let victim = self.mdcache.insert(aaddr, entry, true);
+                self.buffer_victim(victim);
+                break;
+            }
+            missing.push(anc);
+        }
+        // Read all missing nodes (parallel banks permitting).
+        let mut t_read = now;
+        let mut decoded: Vec<(NodeId, SitNode)> = Vec::with_capacity(missing.len());
+        for &m in &missing {
+            let (line, done) = self.mc.read(self.meta_addr(m), now, AccessKind::Metadata);
+            t_read = t_read.max(done);
+            decoded.push((m, SitNode::from_line(&line)));
+        }
+        // Verify top-down: the topmost missing node checks against its
+        // cached parent or the running root; each lower node checks
+        // against the freshly decoded node above it.
+        for i in (0..decoded.len()).rev() {
+            let (id, ref val) = decoded[i];
+            let parent_counter = if i + 1 < decoded.len() {
+                decoded[i + 1].1.counter(id.parent_slot())
+            } else {
+                match self.ctx.geometry().parent(id) {
+                    Parent::Root(slot) => self.effective_root_counter(slot),
+                    Parent::Node(p) => match self.mdcache.get(self.meta_addr(p)) {
+                        Some(MetaEntry::Node(n)) => n.counter(id.parent_slot()),
+                        _ => unreachable!("chain walk stopped at a cached parent"),
+                    },
+                }
+            };
+            if !self.ctx.verify_node(id, val, parent_counter) {
+                return Err(IntegrityError {
+                    addr: self.meta_addr(id),
+                    what: "SIT node MAC mismatch against parent counter",
+                });
+            }
+        }
+        // Verification hashes run off the critical path: fetched nodes
+        // are used speculatively and an exception fires on mismatch (the
+        // standard secure-memory assumption; PLP/BMF model reads the same
+        // way). The hash unit still counts the work.
+        let _ = self.hash.parallel_latency(t_read, decoded.len() as u64);
+        let t_verified = t_read;
+        // Install top-down so lower verifications can see parents.
+        // (Installs only park victims; nothing can interleave.)
+        for (id, val) in decoded.into_iter().rev() {
+            let addr = self.meta_addr(id);
+            if self.mdcache.contains(addr) {
+                continue;
+            }
+            let victim = self.mdcache.insert(addr, MetaEntry::Node(val), false);
+            self.buffer_victim(victim);
+        }
+        Ok(t_verified)
+    }
+
+    /// Ensures the leaf counter block is cached; returns
+    /// `(block, ready_cycle)`.
+    ///
+    /// `verify` selects the fetch policy: reads always verify through the
+    /// trusted chain, but the SCUE *write* path trusts the fetched block
+    /// without touching ancestors — "without reading any nodes when
+    /// writing data" (§IV-A2); any tampering it admits is caught when the
+    /// data is read or at recovery via the Recovery_root sum.
+    fn ensure_leaf_cached(
+        &mut self,
+        leaf: NodeId,
+        now: Cycle,
+        verify: bool,
+    ) -> Result<(CounterBlock, Cycle), IntegrityError> {
+        let addr = self.meta_addr(leaf);
+        if let Some(MetaEntry::Leaf(block)) = self.mdcache.get(addr) {
+            return Ok((*block, now));
+        }
+        // Victim-buffer hit: reinstall the parked (trusted) copy.
+        if let Some(MetaEntry::Leaf(block)) = self.take_victim(addr) {
+            let victim = self.mdcache.insert(addr, MetaEntry::Leaf(block), true);
+            self.buffer_victim(victim);
+            return Ok((block, now));
+        }
+        // Read the block (and its sideband MAC, which rides along).
+        let (line, t_read) = self.mc.read(addr, now, AccessKind::Metadata);
+        let block = CounterBlock::from_line(&line);
+        let mac = self.sideband.get(addr);
+        let t_ready = match self.cfg.scheme {
+            _ if !verify => t_read,
+            SchemeKind::Baseline => t_read,
+            SchemeKind::BmfIdeal => {
+                // Verify against the persistent root in the nvMC.
+                let expected = self.nvmc.get(&leaf.index).copied().unwrap_or(0);
+                let actual = if block.write_count() == 0 && expected == 0 {
+                    0
+                } else {
+                    bmt_child_hmac(self.ctx.key(), addr.raw(), &line)
+                };
+                if actual != expected {
+                    return Err(IntegrityError {
+                        addr,
+                        what: "counter block does not match its persistent root (nvMC)",
+                    });
+                }
+                let _ = self.hash.parallel_latency(t_read, 1); // off-path verify
+                t_read
+            }
+            _ => {
+                // Verify against the covering counter in the cached (or
+                // root) parent chain.
+                let parent_counter = match self.ctx.geometry().parent(leaf) {
+                    Parent::Root(slot) => self.effective_root_counter(slot),
+                    Parent::Node(parent) => {
+                        // Flush cascades may displace the parent between
+                        // ensure and lookup; refetch until it sticks.
+                        let paddr = self.meta_addr(parent);
+                        let mut counter = None;
+                        for _ in 0..8 {
+                            if let Some(MetaEntry::Node(n)) = self.mdcache.get(paddr) {
+                                counter = Some(n.counter(leaf.parent_slot()));
+                                break;
+                            }
+                            self.ensure_node_cached(parent, now)?;
+                        }
+                        counter.unwrap_or_else(|| {
+                            panic!(
+                                "metadata cache cannot retain {parent}; configure a larger cache"
+                            )
+                        })
+                    }
+                };
+                if !self.ctx.verify_leaf(leaf, &block, mac, parent_counter) {
+                    return Err(IntegrityError {
+                        addr,
+                        what: "counter block MAC mismatch against parent counter",
+                    });
+                }
+                let _ = self.hash.parallel_latency(t_read, 1); // off-path verify
+                t_read
+            }
+        };
+        let victim = self.mdcache.insert(addr, MetaEntry::Leaf(block), false);
+        self.buffer_victim(victim);
+        Ok((block, t_ready))
+    }
+
+    // ------------------------------------------------------------------
+    // The write path (Fig. 6): persist one user-data line
+    // ------------------------------------------------------------------
+
+    /// Persists one plaintext user-data line arriving at the controller
+    /// at `now`. Returns the scheme-defined completion cycle — the write
+    /// latency of Fig. 9 is `done - now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if fetching security metadata for this
+    /// write detects tampering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a crashed machine (recover first) or with an
+    /// address outside the protected data region.
+    pub fn persist_data(
+        &mut self,
+        addr: LineAddr,
+        plain: Line,
+        now: Cycle,
+    ) -> Result<Cycle, IntegrityError> {
+        assert!(!self.crashed, "machine is crashed; call recover() first");
+        assert!(
+            self.ctx.geometry().is_data_line(addr),
+            "{addr} is outside the protected data region"
+        );
+        self.settle_pending(now);
+        let geom = self.ctx.geometry().clone();
+        let leaf = geom.leaf_of_data(addr);
+        let minor = geom.minor_slot_of_data(addr);
+        let leaf_addr = self.meta_addr(leaf);
+
+        // 1. Counter block on chip (needed for encryption in all schemes).
+        // SCUE's shortcut write path performs no ancestor reads at all.
+        let verify_on_write = !matches!(self.cfg.scheme, SchemeKind::Scue | SchemeKind::Baseline);
+        let (mut block, t_meta) = self.ensure_leaf_cached(leaf, now, verify_on_write)?;
+        let old_block = block;
+
+        // 2. Advance the minor counter; handle overflow (§II-B).
+        let outcome = block
+            .increment(minor)
+            .expect("minor slot derived from geometry");
+        if outcome == IncrementOutcome::Overflow {
+            self.stats.overflows += 1;
+            self.reencrypt_covered_lines(leaf, minor, &old_block, &block, now);
+        }
+        let delta = block
+            .write_count()
+            .wrapping_sub(old_block.write_count());
+
+        // 3. Encrypt and persist the data line; MAC rides the ECC bits.
+        // The ciphertext cannot form before the counter block arrives, so
+        // the data write issues at `t_meta` for every scheme.
+        let data_issue = now.max(t_meta);
+        let cipher = cme::encrypt_line(self.ctx.key(), addr.raw(), &block, minor, &plain);
+        let e_data = self.mc.write(addr, cipher, data_issue, AccessKind::UserData);
+        if self.cfg.scheme.is_secure() {
+            let mac = data_line_hmac(self.ctx.key(), addr.raw(), &cipher, minor_counter(&block, minor));
+            self.sideband.set(addr, mac);
+        }
+
+        // 4. Scheme-specific leaf persist + tree/root policy. Each arm
+        // yields `(program_done, wlat_gate)`: the cycle the persist is
+        // program-visibly complete (what fences wait on) and the cycle
+        // the scheme's write-path work finishes (what Fig. 9 measures).
+        let leaf_dummy = self.ctx.leaf_dummy(&block);
+        let root_slot = geom.root_slot_of_leaf(leaf.index);
+        let (done, wlat_gate) = match self.cfg.scheme {
+            SchemeKind::Baseline => {
+                // No integrity tree and no consistency requirement on
+                // counters: the block stays dirty in the metadata cache
+                // and reaches NVM on eviction.
+                (e_data.accepted, e_data.accepted)
+            }
+            SchemeKind::Lazy => {
+                // Parent chain on the critical path, then leaf MAC + data
+                // MAC hashes, then — because the parent's counter changed —
+                // the parent's own HMAC recompute, serialized behind the
+                // leaf MAC. (SCUE's "lazy computing", §IV-A1, is exactly
+                // the removal of this serial step.)
+                let t_chain = self.ensure_parent_updated(leaf, leaf_dummy, now.max(t_meta))?;
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(t_chain, 2);
+                let t_parent = self.hash.parallel_latency(t_hash, 1);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let d = e_data.accepted.max(t_parent);
+                (d, d)
+            }
+            SchemeKind::Eager => {
+                // Whole branch on the critical path (cached copies).
+                let t_chain = self.ensure_branch_updated(leaf, leaf_dummy, now.max(t_meta))?;
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                // Branch HMACs recomputed in parallel: stored levels - 1
+                // intermediates + leaf MAC + data MAC.
+                let branch = geom.stored_levels() as u64 + 1;
+                let t_hash = self.hash.parallel_latency(t_chain, branch);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                // The root update lands when propagation finishes — the
+                // crash window (§III-B).
+                self.pending_root.push(PendingRoot {
+                    done: t_hash,
+                    slot: root_slot,
+                    delta,
+                });
+                let d = e_data.accepted.max(t_hash);
+                (d, d)
+            }
+            SchemeKind::Plp => {
+                // PLP on SIT reads (if uncached), updates, and persists
+                // shadow copies of *every* branch node per persist (§V-A)
+                // — the ~7× metadata traffic of §V-E, on the critical
+                // path. Consecutive persists down the same branch coalesce
+                // in the WPQ, which is what PLP's pipelining exploits.
+                let t_chain = self.ensure_branch_updated(leaf, leaf_dummy, now.max(t_meta))?;
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let branch = geom.stored_levels() as u64 + 1;
+                let t_hash = self.hash.parallel_latency(t_chain, branch);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let shadows = self.persist_branch_shadows(leaf, t_hash);
+                // Root recoverable from the persisted branch: no window.
+                self.running_root.add(root_slot, delta);
+                let d = e_data.accepted.max(t_hash).max(shadows);
+                (d, d)
+            }
+            SchemeKind::BmfIdeal => {
+                // Leaf MAC into the persistent root (nvMC): hash of the
+                // final leaf content, then an NV-register write, both on
+                // the critical path; no levels above L1 exist.
+                let t_macs = self.hash.parallel_latency(now.max(t_meta), 2);
+                let leaf_line = block.to_line();
+                let parent_mac = bmt_child_hmac(self.ctx.key(), leaf_addr.raw(), &leaf_line);
+                self.nvmc.insert(leaf.index, parent_mac);
+                // The persistent root IS the MAC, so its durability —
+                // and hence the persist — gates on the hash + NV write.
+                let t_nvmc = t_macs + NVMC_WRITE_CYCLES;
+                self.mc
+                    .write_coalesced(leaf_addr, leaf_line, AccessKind::Metadata);
+                let d = e_data.accepted.max(t_nvmc);
+                (d, d)
+            }
+            SchemeKind::Scue => {
+                // Shortcut update: dummy counter from the leaf itself, one
+                // parallel hash batch (leaf MAC + data MAC), instantaneous
+                // Recovery_root bump. No reads, no intermediate nodes.
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(now.max(t_meta), 2);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                self.recovery_root.add(root_slot, delta);
+                // The persist is complete once the Recovery_root is
+                // bumped (instant) and the leaf line + MAC are durable —
+                // the single leaf-MAC hash is SCUE's whole write-path
+                // cost (Fig. 9's 1.12×).
+                let program_done = e_data.accepted.max(t_hash);
+                let wlat_gate = program_done;
+                // Off the critical path: fetch + update the parent chain
+                // with the dummy counter (§IV-A2).
+                self.ensure_parent_updated(leaf, leaf_dummy, wlat_gate)?;
+                (program_done, wlat_gate)
+            }
+        };
+
+        // Refresh the cached copy. Secure schemes just wrote the leaf
+        // through, so their copy is clean; Baseline holds it dirty until
+        // eviction.
+        let leaf_dirty = !self.cfg.scheme.is_secure();
+        let victim = self.mdcache.insert(leaf_addr, MetaEntry::Leaf(block), leaf_dirty);
+        self.buffer_victim(victim);
+        // Drain displaced metadata. Lazy/Eager/PLP must finish the flush
+        // work (hashes + parent write-throughs) before the write
+        // completes; SCUE's dummy counter keeps it off the critical path.
+        let ev_done = self.drain_victims(now);
+        let (done, wlat_gate) = match self.cfg.scheme {
+            SchemeKind::Lazy | SchemeKind::Eager | SchemeKind::Plp => {
+                (done.max(ev_done), wlat_gate.max(ev_done))
+            }
+            _ => (done, wlat_gate),
+        };
+
+        self.stats.persists += 1;
+        // Fig. 9's metric: the write-path latency the scheme is
+        // responsible for — metadata fetches, verification chains, hashes
+        // and shadow persists — on top of the common service floor, with
+        // the shared user-WPQ queue wait factored out (see the
+        // BASELINE_WRITE_SERVICE note). `done` itself is the
+        // program-visible persist point that fences wait on.
+        let queue_wait = e_data.accepted.saturating_sub(data_issue);
+        self.stats.write_latency.record(
+            (wlat_gate.saturating_sub(data_issue)).saturating_sub(queue_wait)
+                + BASELINE_WRITE_SERVICE,
+        );
+        Ok(done)
+    }
+
+    /// Lazy/SCUE parent update: ensure the leaf's parent is cached
+    /// (verified through its chain) and set its covering counter to the
+    /// leaf dummy. Returns the cycle the chain was ready.
+    fn ensure_parent_updated(
+        &mut self,
+        leaf: NodeId,
+        leaf_dummy: u64,
+        now: Cycle,
+    ) -> Result<Cycle, IntegrityError> {
+        match self.ctx.geometry().parent(leaf) {
+            Parent::Root(slot) => {
+                self.running_root.set(slot, leaf_dummy);
+                Ok(now)
+            }
+            Parent::Node(parent) => {
+                let t = self.ensure_node_cached(parent, now)?;
+                self.with_node_mut(parent, now, |n| {
+                    n.set_counter(leaf.parent_slot(), leaf_dummy);
+                })?;
+                Ok(t)
+            }
+        }
+    }
+
+    /// Eager/PLP branch update: ensure *every* ancestor is cached, then
+    /// cascade the dummy-counter updates to the top. Returns chain-ready
+    /// cycle.
+    fn ensure_branch_updated(
+        &mut self,
+        leaf: NodeId,
+        leaf_dummy: u64,
+        now: Cycle,
+    ) -> Result<Cycle, IntegrityError> {
+        let (chain, _) = self.ctx.geometry().ancestors(leaf);
+        let t = match chain.first() {
+            Some(&parent) => self.ensure_node_cached(parent, now)?,
+            None => now,
+        };
+        // Cascade: child dummy into parent, recompute parent dummy, up.
+        let mut child = leaf;
+        let mut dummy = leaf_dummy;
+        for &anc in &chain {
+            let slot = child.parent_slot();
+            dummy = self.with_node_mut(anc, now, |n| {
+                n.set_counter(slot, dummy);
+                n.counter_sum()
+            })?;
+            child = anc;
+        }
+        Ok(t)
+    }
+
+    /// PLP: persist shadow copies of every branch node; returns the last
+    /// acceptance cycle (the metadata WPQ is only 10 deep, so this backs
+    /// up fast — the 2.74× of Fig. 9).
+    fn persist_branch_shadows(&mut self, leaf: NodeId, now: Cycle) -> Cycle {
+        let (chain, _) = self.ctx.geometry().ancestors(leaf);
+        let mut done = now;
+        for anc in chain {
+            let addr = self.meta_addr(anc);
+            let line = match self.mdcache.get(addr) {
+                Some(entry) => entry.to_line(),
+                None => continue,
+            };
+            let e = self.mc.write(addr, line, now, AccessKind::Metadata);
+            done = done.max(e.accepted);
+        }
+        done
+    }
+
+    /// Minor-counter overflow: every line the block covers was encrypted
+    /// under the old (major, minor) pads and must be re-encrypted under
+    /// the new major (§II-B) — 64 reads + 64 writes of user data.
+    fn reencrypt_covered_lines(
+        &mut self,
+        leaf: NodeId,
+        skip_minor: usize,
+        old_block: &CounterBlock,
+        new_block: &CounterBlock,
+        now: Cycle,
+    ) {
+        let first_line = leaf.index * scue_itree::geometry::LINES_PER_LEAF;
+        for slot in 0..cme::MINORS_PER_BLOCK {
+            if slot == skip_minor {
+                continue; // being overwritten with fresh data anyway
+            }
+            let line_addr = LineAddr::new(first_line + slot as u64);
+            if self.sideband.get(line_addr) == 0 && !self.cfg.scheme.is_secure() {
+                // Heuristic only works when MACs exist; for Baseline read
+                // unconditionally below.
+            }
+            let (cipher, _) = self.mc.read(line_addr, now, AccessKind::UserData);
+            if cipher == [0u8; 64] && self.sideband.get(line_addr) == 0 {
+                continue; // never written; nothing to re-encrypt
+            }
+            let plain = cme::decrypt_line(self.ctx.key(), line_addr.raw(), old_block, slot, &cipher);
+            let fresh = cme::encrypt_line(self.ctx.key(), line_addr.raw(), new_block, slot, &plain);
+            self.mc.write(line_addr, fresh, now, AccessKind::UserData);
+            if self.cfg.scheme.is_secure() {
+                let mac = data_line_hmac(
+                    self.ctx.key(),
+                    line_addr.raw(),
+                    &fresh,
+                    minor_counter(new_block, slot),
+                );
+                self.hash.parallel_latency(now, 1);
+                self.sideband.set(line_addr, mac);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The read path
+    // ------------------------------------------------------------------
+
+    /// Reads one user-data line that missed the LLC, arriving at the
+    /// controller at `now`. Returns the decrypted plaintext and the
+    /// completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] if the data MAC or any metadata in the
+    /// verification chain fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is crashed or the address is out of range.
+    pub fn read_data(&mut self, addr: LineAddr, now: Cycle) -> Result<(Line, Cycle), IntegrityError> {
+        assert!(!self.crashed, "machine is crashed; call recover() first");
+        assert!(
+            self.ctx.geometry().is_data_line(addr),
+            "{addr} is outside the protected data region"
+        );
+        self.settle_pending(now);
+        let geom = self.ctx.geometry().clone();
+        let leaf = geom.leaf_of_data(addr);
+        let minor = geom.minor_slot_of_data(addr);
+
+        // Ciphertext and counter block fetch in parallel (§II-B: OTP
+        // generation overlaps the data read).
+        let (cipher, t_data) = self.mc.read(addr, now, AccessKind::UserData);
+        let (block, t_meta) = self.ensure_leaf_cached(leaf, now, true)?;
+        let plain = cme::decrypt_line(self.ctx.key(), addr.raw(), &block, minor, &cipher);
+
+        let done = if self.cfg.scheme.is_secure() {
+            // Verify the data MAC against the covering counter. The data
+            // is forwarded to the core speculatively and the verification
+            // hash completes in the background (exception on mismatch) —
+            // the standard secure-memory read model, and why Fig. 12's
+            // execution time barely moves with hash latency.
+            let expected = self.sideband.get(addr);
+            let actual = if expected == 0 && cipher == [0u8; 64] {
+                0 // never-written line
+            } else {
+                data_line_hmac(self.ctx.key(), addr.raw(), &cipher, minor_counter(&block, minor))
+            };
+            if actual != expected {
+                return Err(IntegrityError {
+                    addr,
+                    what: "user-data MAC mismatch",
+                });
+            }
+            let _ = self.hash.parallel_latency(t_data.max(t_meta), 1);
+            t_data.max(t_meta)
+        } else {
+            t_data.max(t_meta)
+        };
+        // Drain any metadata displaced by this read (off the read path).
+        self.drain_victims(now);
+        self.stats.read_latency.record(done - now);
+        Ok((plain, done))
+    }
+
+    // ------------------------------------------------------------------
+    // Crash & recovery
+    // ------------------------------------------------------------------
+
+    /// Power fails at cycle `at`.
+    ///
+    /// ADR drains the WPQ (already durable in the functional store). With
+    /// eADR the metadata cache contents also flush — *as raw bytes, with
+    /// no computation* (§III-C): stale HMAC fields land in NVM as-is.
+    /// Root registers are non-volatile and survive. Root propagations
+    /// still in flight (Eager) are lost — the crash window.
+    pub fn crash(&mut self, at: Cycle) {
+        self.settle_pending(at);
+        // Eager: in-flight propagation lost. PLP applied its updates
+        // synchronously, so nothing is pending for it.
+        self.pending_root.clear();
+        self.mc.crash();
+        if self.cfg.eadr {
+            let entries = self.mdcache.drain_all();
+            for ev in entries {
+                if ev.dirty {
+                    // Raw flush: bytes as cached, stale MACs included.
+                    self.mc.store_mut().write_line(ev.addr, ev.value.to_line());
+                }
+            }
+            let parked: Vec<_> = self.victims.drain(..).collect();
+            for (addr, entry) in parked {
+                self.mc.store_mut().write_line(addr, entry.to_line());
+            }
+        } else {
+            self.mdcache.discard_all();
+            self.victims.clear();
+        }
+        self.hash.reset_occupancy();
+        self.crashed = true;
+    }
+
+    /// Reboots and attempts recovery; see [`recovery`](crate::recovery)
+    /// for the algorithm and report semantics. On success the machine is
+    /// ready for `persist_data`/`read_data` again.
+    pub fn recover(&mut self) -> RecoveryReport {
+        assert!(self.crashed, "recover() is only meaningful after crash()");
+        let report = recovery::run(self);
+        if report.outcome.is_success() {
+            self.crashed = false;
+        }
+        report
+    }
+
+    // Internal accessors for the recovery/attack modules.
+    pub(crate) fn parts_for_recovery(
+        &mut self,
+    ) -> (
+        &SitContext,
+        &mut MemoryController,
+        &MacSideband,
+        &mut RootRegister,
+        &mut RootRegister,
+        &HashMap<u64, u64>,
+    ) {
+        (
+            &self.ctx,
+            &mut self.mc,
+            &self.sideband,
+            &mut self.running_root,
+            &mut self.recovery_root,
+            &self.nvmc,
+        )
+    }
+}
+
+/// The covering counter value bound into a data line's MAC: the line's
+/// minor plus the block major (so replaying across a major bump fails).
+fn minor_counter(block: &CounterBlock, minor: usize) -> u64 {
+    (block.major() << 7) | block.minor(minor).expect("slot in range") as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(scheme: SchemeKind) -> SecureMemory {
+        SecureMemory::new(SecureMemConfig::small_test(scheme))
+    }
+
+    fn line(fill: u8) -> Line {
+        [fill; 64]
+    }
+
+    #[test]
+    fn write_read_roundtrip_every_scheme() {
+        for scheme in SchemeKind::ALL {
+            let mut m = mem(scheme);
+            let mut now = 0;
+            for i in 0..20u64 {
+                now = m.persist_data(LineAddr::new(i * 3), line(i as u8 + 1), now).unwrap();
+            }
+            for i in 0..20u64 {
+                let (data, done) = m.read_data(LineAddr::new(i * 3), now).unwrap();
+                assert_eq!(data, line(i as u8 + 1), "{scheme}");
+                now = done;
+            }
+        }
+    }
+
+    #[test]
+    fn rewrites_change_counters_and_still_decrypt() {
+        let mut m = mem(SchemeKind::Scue);
+        let mut now = 0;
+        for round in 0..5u8 {
+            now = m.persist_data(LineAddr::new(7), line(round), now).unwrap();
+            let (data, done) = m.read_data(LineAddr::new(7), now).unwrap();
+            assert_eq!(data, line(round));
+            now = done;
+        }
+    }
+
+    #[test]
+    fn scue_recovery_root_tracks_persists() {
+        let mut m = mem(SchemeKind::Scue);
+        let mut now = 0;
+        for i in 0..10u64 {
+            now = m.persist_data(LineAddr::new(i), line(1), now).unwrap();
+        }
+        // All 10 lines fall under leaf 0 (lines 0..64) -> root slot 0.
+        assert_eq!(m.recovery_root().counter(0), 10);
+        assert_eq!(m.recovery_root().counters().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn eager_root_updates_lag_by_crash_window() {
+        let mut m = mem(SchemeKind::Eager);
+        let done = m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        // Immediately after the persist the propagation may be pending.
+        assert!(m.pending_root_updates(0) > 0, "crash window exists");
+        assert_eq!(m.pending_root_updates(done + 10_000), 0);
+    }
+
+    #[test]
+    fn scue_has_no_pending_root_updates() {
+        let mut m = mem(SchemeKind::Scue);
+        m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        assert_eq!(m.pending_root_updates(0), 0, "shortcut update is instant");
+    }
+
+    #[test]
+    fn minor_overflow_reencrypts_and_reads_back() {
+        let mut m = mem(SchemeKind::Scue);
+        let mut now = 0;
+        // Write neighbours first so overflow must re-encrypt them.
+        now = m.persist_data(LineAddr::new(1), line(0xA1), now).unwrap();
+        now = m.persist_data(LineAddr::new(2), line(0xA2), now).unwrap();
+        // Drive line 0's minor past 127 to force an overflow.
+        for i in 0..130u32 {
+            now = m.persist_data(LineAddr::new(0), line(i as u8), now).unwrap();
+        }
+        assert!(m.stats().overflows >= 1);
+        let (a, d1) = m.read_data(LineAddr::new(1), now).unwrap();
+        assert_eq!(a, line(0xA1), "re-encrypted neighbour must decrypt");
+        let (b, _) = m.read_data(LineAddr::new(2), d1).unwrap();
+        assert_eq!(b, line(0xA2));
+    }
+
+    /// A taller tree with a non-thrashing metadata cache — Table II in
+    /// miniature. The tiny `small_test` cache thrashes, which inverts the
+    /// paper's ordering (misses dominate everything).
+    fn figure_config(scheme: SchemeKind) -> SecureMemConfig {
+        let mut cfg = SecureMemConfig::small_test(scheme);
+        cfg.geometry = scue_itree::TreeGeometry::tiny(512); // 4 stored levels
+        cfg.mdcache_bytes = 1024 * 64;
+        cfg.mdcache_ways = 8;
+        cfg
+    }
+
+    #[test]
+    fn write_latency_ordering_matches_paper() {
+        // Same access pattern per scheme; mean write latencies must order
+        // Baseline < SCUE < BMF-ideal and Lazy < PLP (Fig. 9).
+        let mut means = std::collections::HashMap::new();
+        for scheme in SchemeKind::ALL {
+            let mut m = SecureMemory::new(figure_config(scheme));
+            let mut now = 0;
+            for round in 0..4u64 {
+                for i in 0..512u64 {
+                    let done = m
+                        .persist_data(LineAddr::new((i * 67) % 32768), line(round as u8), now)
+                        .unwrap();
+                    // Workload-paced arrivals (queues drain between
+                    // persists), as in Fig. 9's measurement.
+                    now = done + 1_000;
+                }
+            }
+            means.insert(scheme, m.stats().mean_write_latency());
+        }
+        let get = |s: SchemeKind| means[&s];
+        assert!(get(SchemeKind::Baseline) < get(SchemeKind::Scue), "{means:?}");
+        assert!(get(SchemeKind::Scue) < get(SchemeKind::BmfIdeal), "{means:?}");
+        assert!(get(SchemeKind::Scue) < get(SchemeKind::Lazy), "{means:?}");
+        assert!(get(SchemeKind::Scue) < get(SchemeKind::Plp), "{means:?}");
+        // (Lazy vs PLP ordering emerges at realistic scale and is
+        // asserted by the figure_shapes integration test.)
+    }
+
+    #[test]
+    fn metadata_traffic_plp_dominates() {
+        let mut meta = std::collections::HashMap::new();
+        for scheme in [SchemeKind::Lazy, SchemeKind::Plp, SchemeKind::Scue] {
+            let mut m = SecureMemory::new(figure_config(scheme));
+            let mut now = 0;
+            for i in 0..1024u64 {
+                now = m
+                    .persist_data(LineAddr::new((i * 131) % 32768), line(1), now)
+                    .unwrap();
+            }
+            meta.insert(scheme, m.stats().mem.metadata_total());
+        }
+        // PLP persists shadow branch copies per write (§V-E: ~7× on the
+        // paper's 9-level tree; proportionally less on this 5-level one).
+        assert!(
+            meta[&SchemeKind::Plp] as f64 > meta[&SchemeKind::Lazy] as f64 * 1.8,
+            "{meta:?}"
+        );
+        // SCUE does roughly Lazy-level metadata traffic (§V-E).
+        let ratio = meta[&SchemeKind::Scue] as f64 / meta[&SchemeKind::Lazy] as f64;
+        assert!(ratio < 1.5 && ratio > 0.5, "SCUE ~ Lazy, got {ratio}");
+    }
+
+    #[test]
+    fn runtime_tamper_detected_on_read() {
+        let mut m = mem(SchemeKind::Scue);
+        let now = m.persist_data(LineAddr::new(5), line(9), 0).unwrap();
+        // Attacker flips a ciphertext byte in NVM.
+        let mut raw = m.store().read_line(LineAddr::new(5));
+        raw[0] ^= 0xFF;
+        m.store_mut().tamper_line(LineAddr::new(5), raw);
+        let err = m.read_data(LineAddr::new(5), now).unwrap_err();
+        assert!(err.to_string().contains("MAC mismatch"));
+    }
+
+    #[test]
+    fn baseline_misses_tampering() {
+        let mut m = mem(SchemeKind::Baseline);
+        let now = m.persist_data(LineAddr::new(5), line(9), 0).unwrap();
+        let mut raw = m.store().read_line(LineAddr::new(5));
+        raw[0] ^= 0xFF;
+        m.store_mut().tamper_line(LineAddr::new(5), raw);
+        // Baseline has no integrity checking: the read "succeeds" with
+        // garbled data — the motivation for the tree.
+        let (data, _) = m.read_data(LineAddr::new(5), now).unwrap();
+        assert_ne!(data, line(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed")]
+    fn persist_after_crash_panics() {
+        let mut m = mem(SchemeKind::Scue);
+        m.crash(0);
+        let _ = m.persist_data(LineAddr::new(0), line(1), 0);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = mem(SchemeKind::Scue);
+        let now = m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        m.read_data(LineAddr::new(0), now).unwrap();
+        let s = m.stats();
+        assert_eq!(s.persists, 1);
+        assert!(s.hashes > 0);
+        assert!(s.mem.total() > 0);
+        assert!(s.write_latency.count == 1);
+        assert!(s.read_latency.count == 1);
+    }
+}

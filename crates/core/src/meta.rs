@@ -1,0 +1,82 @@
+//! Typed metadata-cache entries.
+//!
+//! The metadata cache holds two kinds of security metadata (Table II):
+//! leaf counter blocks and intermediate SIT nodes. Cached entries are
+//! *decoded* — the schemes mutate counters in place — and only serialised
+//! when flushed to NVM.
+
+use scue_crypto::cme::CounterBlock;
+use scue_itree::SitNode;
+use scue_nvm::LINE_BYTES;
+
+/// One cached metadata line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaEntry {
+    /// A leaf counter block (level 0).
+    Leaf(CounterBlock),
+    /// An intermediate SIT node (levels >= 1).
+    Node(SitNode),
+}
+
+impl MetaEntry {
+    /// The entry as a leaf block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is a node — that is an engine addressing bug.
+    pub fn expect_leaf(&self) -> &CounterBlock {
+        match self {
+            MetaEntry::Leaf(block) => block,
+            MetaEntry::Node(_) => panic!("metadata entry is a node, expected a leaf"),
+        }
+    }
+
+    /// The entry as an intermediate node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is a leaf.
+    pub fn expect_node(&self) -> &SitNode {
+        match self {
+            MetaEntry::Node(node) => node,
+            MetaEntry::Leaf(_) => panic!("metadata entry is a leaf, expected a node"),
+        }
+    }
+
+    /// Serialises the entry to its 64 B NVM representation.
+    pub fn to_line(&self) -> [u8; LINE_BYTES] {
+        match self {
+            MetaEntry::Leaf(block) => block.to_line(),
+            MetaEntry::Node(node) => node.to_line(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_accessors() {
+        let mut block = CounterBlock::new();
+        block.increment(1).unwrap();
+        let entry = MetaEntry::Leaf(block);
+        assert_eq!(entry.expect_leaf(), &block);
+        assert_eq!(entry.to_line(), block.to_line());
+    }
+
+    #[test]
+    fn node_accessors() {
+        let mut node = SitNode::new();
+        node.set_counter(3, 9);
+        let entry = MetaEntry::Node(node);
+        assert_eq!(entry.expect_node(), &node);
+        assert_eq!(entry.to_line(), node.to_line());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a leaf")]
+    fn wrong_kind_panics() {
+        MetaEntry::Node(SitNode::new()).expect_leaf();
+    }
+}

@@ -1,0 +1,302 @@
+//! Osiris-style counter recovery (§VII / Ye et al., MICRO'18) — the
+//! paper's *other* sanctioned counter-consistency mechanism.
+//!
+//! Our engine persists counter blocks write-through (Supermem-style).
+//! Osiris instead lets counter blocks go stale in NVM by up to a bounded
+//! number of writes and recovers the true values at reboot: the data
+//! line's MAC binds the *current* covering counter, so the recovery
+//! simply replays each counter forward until the stored MAC verifies.
+//!
+//! SCUE composes with Osiris exactly as the paper says (§VII: "Osiris and
+//! Supermem can be used in SCUE to ensure the consistency between counter
+//! blocks and user data"): Osiris first restores the true leaf counters,
+//! then counter-summing reconstruction proceeds on the restored leaves.
+//! [`recover_image`] implements that composition over a crashed NVM
+//! image.
+
+use crate::engine::SecureMemory;
+use scue_crypto::cme::{CounterBlock, MINORS_PER_BLOCK, MINOR_MAX};
+use scue_crypto::hmac::data_line_hmac;
+use scue_crypto::SecretKey;
+use scue_itree::geometry::{NodeId, TreeGeometry, LINES_PER_LEAF};
+use scue_itree::MacSideband;
+use scue_nvm::{LineAddr, NvmStore};
+
+/// Osiris's replay bound: a counter may be stale in NVM by at most this
+/// many increments (the paper's Osiris uses the ECC-tolerated distance;
+/// any small constant works for the mechanism).
+pub const DEFAULT_REPLAY_LIMIT: u8 = 8;
+
+/// Why a counter could not be recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsirisError {
+    /// No candidate within the replay limit matched the stored data MAC —
+    /// either the counter regressed beyond the bound (a real Osiris would
+    /// declare the line lost) or the data/MAC was tampered with.
+    NoMatch {
+        /// The data line whose counter could not be re-derived.
+        line: LineAddr,
+    },
+}
+
+impl std::fmt::Display for OsirisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsirisError::NoMatch { line } => write!(
+                f,
+                "no counter candidate within the replay limit matches the MAC of {line}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OsirisError {}
+
+/// Statistics of one Osiris pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsirisReport {
+    /// Leaf blocks examined.
+    pub blocks: u64,
+    /// Minor counters that had to be replayed forward.
+    pub replayed_minors: u64,
+    /// Total forward steps applied.
+    pub replay_steps: u64,
+}
+
+/// Recovers the true minor counters of one stale leaf block by replaying
+/// each covered line's counter forward until its stored data MAC
+/// verifies.
+///
+/// `stale` is the block as found in NVM; the returned block has every
+/// covered (written) line's minor advanced to the value its MAC proves.
+/// Never-written lines (zero ciphertext, zero MAC) keep their stale
+/// minors.
+///
+/// # Errors
+///
+/// [`OsirisError::NoMatch`] if some line's counter cannot be re-derived
+/// within `replay_limit` steps.
+pub fn recover_block(
+    key: &SecretKey,
+    geometry: &TreeGeometry,
+    store: &NvmStore,
+    sideband: &MacSideband,
+    leaf: NodeId,
+    stale: &CounterBlock,
+    replay_limit: u8,
+    report: &mut OsirisReport,
+) -> Result<CounterBlock, OsirisError> {
+    let mut recovered = *stale;
+    report.blocks += 1;
+    let first_line = leaf.index * LINES_PER_LEAF;
+    for slot in 0..MINORS_PER_BLOCK {
+        let line_addr = LineAddr::new(first_line + slot as u64);
+        if line_addr.raw() >= geometry.data_lines() {
+            break;
+        }
+        let cipher = store.read_line(line_addr);
+        let stored_mac = sideband.get(line_addr);
+        if stored_mac == 0 && cipher == [0u8; 64] {
+            continue; // never written
+        }
+        let stale_minor = stale.minor(slot).expect("slot < 64");
+        let mut found = false;
+        for step in 0..=replay_limit {
+            // Candidate counter: stale + step, staying within this major
+            // epoch (Osiris stores the major redundantly; crossing an
+            // epoch is handled by its phase bit, which we bound away).
+            let candidate = stale_minor.saturating_add(step);
+            if candidate > MINOR_MAX {
+                break;
+            }
+            let covering = (stale.major() << 7) | candidate as u64;
+            if data_line_hmac(key, line_addr.raw(), &cipher, covering) == stored_mac {
+                if step > 0 {
+                    report.replayed_minors += 1;
+                    report.replay_steps += step as u64;
+                    recovered
+                        .set_minor(slot, candidate)
+                        .expect("slot < 64");
+                }
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Err(OsirisError::NoMatch { line: line_addr });
+        }
+    }
+    Ok(recovered)
+}
+
+/// Restores every stale leaf block in a crashed machine image, writing
+/// the recovered blocks back into NVM so that counter-summing recovery
+/// (and the subsequent root comparison) operates on true counters.
+///
+/// This is the Osiris ∘ SCUE composition of §VII. Leaf MACs in the
+/// sideband are refreshed to match the restored counters (Osiris
+/// recomputes them as part of restoring the block).
+///
+/// # Errors
+///
+/// Propagates the first unrecoverable line.
+pub fn recover_image(
+    mem: &mut SecureMemory,
+    replay_limit: u8,
+) -> Result<OsirisReport, OsirisError> {
+    let ctx = mem.context().clone();
+    let geometry = ctx.geometry().clone();
+    let key = *ctx.key();
+    let mut report = OsirisReport::default();
+    let touched: Vec<NodeId> = mem
+        .store()
+        .iter()
+        .filter_map(|(addr, _)| geometry.node_at_addr(addr))
+        .filter(|node| node.level == 0)
+        .collect();
+    for leaf in touched {
+        let addr = geometry.node_addr(leaf);
+        let stale = CounterBlock::from_line(&mem.store().read_line(addr));
+        let recovered = recover_block(
+            &key,
+            &geometry,
+            mem.store(),
+            mem.sideband(),
+            leaf,
+            &stale,
+            replay_limit,
+            &mut report,
+        )?;
+        if recovered != stale {
+            mem.store_mut().write_line(addr, recovered.to_line());
+            let mac = ctx.leaf_mac(leaf, &recovered, ctx.leaf_dummy(&recovered));
+            mem.sideband_mut().set(addr, mac);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SchemeKind, SecureMemConfig};
+    use crate::recovery::RecoveryOutcome;
+
+    /// Builds a machine, persists data, then artificially rolls some NVM
+    /// leaf minors *backwards* (simulating Osiris-mode staleness: the
+    /// data + MACs are current, the counter block lags).
+    fn staled_machine(stale_by: u8) -> (SecureMemory, NodeId, CounterBlock) {
+        let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let mut now = 0;
+        for round in 0..4u64 {
+            for line in 0..4u64 {
+                now = mem
+                    .persist_data(LineAddr::new(line), [round as u8 + 1; 64], now)
+                    .unwrap();
+            }
+        }
+        mem.crash(now);
+        let leaf = NodeId::new(0, 0);
+        let addr = mem.context().geometry().node_addr(leaf);
+        let truth = CounterBlock::from_line(&mem.store().read_line(addr));
+        let mut stale = truth;
+        for slot in 0..4usize {
+            let v = stale.minor(slot).unwrap().saturating_sub(stale_by);
+            stale.set_minor(slot, v).unwrap();
+        }
+        mem.store_mut().tamper_line(addr, stale.to_line());
+        (mem, leaf, truth)
+    }
+
+    #[test]
+    fn replays_stale_minors_to_truth() {
+        let (mem, leaf, truth) = staled_machine(3);
+        let geometry = mem.context().geometry().clone();
+        let addr = geometry.node_addr(leaf);
+        let stale = CounterBlock::from_line(&mem.store().read_line(addr));
+        assert_ne!(stale, truth, "precondition: block is stale");
+        let mut report = OsirisReport::default();
+        let recovered = recover_block(
+            mem.context().key(),
+            &geometry,
+            mem.store(),
+            mem.sideband(),
+            leaf,
+            &stale,
+            DEFAULT_REPLAY_LIMIT,
+            &mut report,
+        )
+        .unwrap();
+        assert_eq!(recovered, truth);
+        assert_eq!(report.replayed_minors, 4);
+        assert_eq!(report.replay_steps, 12);
+    }
+
+    #[test]
+    fn staleness_beyond_limit_is_an_error() {
+        let (mem, leaf, _) = staled_machine(5);
+        let geometry = mem.context().geometry().clone();
+        let addr = geometry.node_addr(leaf);
+        let stale = CounterBlock::from_line(&mem.store().read_line(addr));
+        let mut report = OsirisReport::default();
+        let err = recover_block(
+            mem.context().key(),
+            &geometry,
+            mem.store(),
+            mem.sideband(),
+            leaf,
+            &stale,
+            2, // limit below the staleness
+            &mut report,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OsirisError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn osiris_then_counter_summing_recovers_the_machine() {
+        let (mut mem, _, _) = staled_machine(3);
+        // Counter-summing alone would reject the stale image (leaf MACs
+        // recomputed against stale dummies mismatch).
+        // Run the composition: Osiris first, then normal recovery.
+        let report = recover_image(&mut mem, DEFAULT_REPLAY_LIMIT).unwrap();
+        assert!(report.replayed_minors > 0);
+        assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+        let (data, _) = mem.read_data(LineAddr::new(0), 0).unwrap();
+        assert_eq!(data, [4u8; 64], "latest persisted round survives");
+    }
+
+    #[test]
+    fn stale_image_without_osiris_fails_recovery() {
+        let (mut mem, _, _) = staled_machine(3);
+        assert!(
+            mem.recover().outcome.is_failure(),
+            "stale counters must not pass counter-summing verification"
+        );
+    }
+
+    #[test]
+    fn clean_image_is_a_noop() {
+        let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let mut now = 0;
+        for i in 0..8u64 {
+            now = mem.persist_data(LineAddr::new(i * 64), [1; 64], now).unwrap();
+        }
+        mem.crash(now);
+        let report = recover_image(&mut mem, DEFAULT_REPLAY_LIMIT).unwrap();
+        assert_eq!(report.replayed_minors, 0);
+        assert_eq!(report.replay_steps, 0);
+        assert!(report.blocks > 0);
+        assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+    }
+
+    #[test]
+    fn tampered_data_cannot_masquerade_as_staleness() {
+        let (mut mem, _, _) = staled_machine(2);
+        // Attacker also corrupts a covered data line: no replay candidate
+        // can match its MAC.
+        crate::attack::corrupt_line(&mut mem, LineAddr::new(0), 0x3C);
+        let err = recover_image(&mut mem, DEFAULT_REPLAY_LIMIT).unwrap_err();
+        assert!(matches!(err, OsirisError::NoMatch { .. }));
+    }
+}

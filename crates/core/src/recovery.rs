@@ -1,0 +1,381 @@
+//! Counter-summing recovery (§IV-B): rebuild the SIT bottom-up from the
+//! persisted leaves and check the result against the on-chip trust base.
+//!
+//! After a crash the intermediate tree nodes in NVM are stale or missing;
+//! only the leaf counter blocks (write-through, hence consistent) and the
+//! on-chip root registers are trustworthy inputs. Reconstruction proceeds
+//! exactly as Fig. 8:
+//!
+//! 1. every Level-1 counter is rebuilt as its leaf's **dummy counter**
+//!    (the leaf's summed write count);
+//! 2. each leaf's stored HMAC is recomputed against the reconstructed
+//!    parent counter — a mismatch means the leaf was tampered with
+//!    (roll-forward, or roll-back with a forged MAC: Table I row 1);
+//! 3. levels 2..top are rebuilt by summing child counters, and fresh
+//!    node HMACs are installed;
+//! 4. the reconstructed root is compared with the stored on-chip root —
+//!    a mismatch means either a replay attack (old leaf tuples sum low:
+//!    Table I row 2) or root crash inconsistency (Lazy/Eager: the paper's
+//!    §III-B failure).
+//!
+//! Untouched subtrees sum to zero and cost nothing: the scan covers only
+//! lines present in the sparse NVM image, mirroring how STAR bitmaps or
+//! an Anubis shadow table bound the stale set (see [`crate::fastrec`]).
+
+use crate::config::SchemeKind;
+use crate::engine::SecureMemory;
+use scue_crypto::hmac::bmt_child_hmac;
+use scue_itree::geometry::NodeId;
+use scue_itree::{RootRegister, SitNode};
+use scue_nvm::LineAddr;
+use std::collections::BTreeMap;
+
+/// Latency of one metadata fetch from NVM during recovery, nanoseconds
+/// (the paper's §V-D model: fetches dominate recovery time).
+pub const RECOVERY_FETCH_NS: u64 = 100;
+
+/// How a recovery attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Reconstruction succeeded and matched the trust base: the tree is
+    /// re-installed and the machine may resume.
+    Clean,
+    /// The scheme has no integrity tree (Baseline): nothing was verified.
+    Unverified,
+    /// A leaf's stored HMAC does not match its reconstructed parent
+    /// counter: roll-forward or forged roll-back tampering (Table I).
+    LeafMacMismatch {
+        /// Index of the first offending leaf.
+        leaf: u64,
+    },
+    /// The reconstructed root differs from the stored trust base: replay
+    /// tampering, or root crash inconsistency (the §III-B failure mode
+    /// that makes Lazy/Eager recovery unsound).
+    RootMismatch,
+}
+
+impl RecoveryOutcome {
+    /// Whether the machine may resume operation.
+    pub fn is_success(self) -> bool {
+        matches!(self, RecoveryOutcome::Clean | RecoveryOutcome::Unverified)
+    }
+
+    /// Whether the outcome signals detected tampering or inconsistency.
+    pub fn is_failure(self) -> bool {
+        !self.is_success()
+    }
+}
+
+/// The result of one recovery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// How it ended.
+    pub outcome: RecoveryOutcome,
+    /// Leaf counter blocks examined.
+    pub leaves_checked: u64,
+    /// Metadata fetches performed (leaves read + nodes rebuilt).
+    pub metadata_fetches: u64,
+    /// Modelled wall-clock recovery time (fetches × 100 ns, §V-D).
+    pub modelled_ns: u64,
+}
+
+impl RecoveryReport {
+    fn new(outcome: RecoveryOutcome, leaves_checked: u64, metadata_fetches: u64) -> Self {
+        Self {
+            outcome,
+            leaves_checked,
+            metadata_fetches,
+            modelled_ns: metadata_fetches * RECOVERY_FETCH_NS,
+        }
+    }
+}
+
+/// Runs recovery on a crashed machine. Called via
+/// [`SecureMemory::recover`].
+pub(crate) fn run(mem: &mut SecureMemory) -> RecoveryReport {
+    match mem.scheme() {
+        SchemeKind::Baseline => RecoveryReport::new(RecoveryOutcome::Unverified, 0, 0),
+        SchemeKind::BmfIdeal => recover_bmf(mem),
+        SchemeKind::Lazy | SchemeKind::Eager | SchemeKind::Plp | SchemeKind::Scue => {
+            recover_counter_summing(mem)
+        }
+    }
+}
+
+/// BMF-ideal: every leaf's persistent root (its MAC in the nvMC) survived
+/// the crash on-chip; verification is a flat scan.
+fn recover_bmf(mem: &mut SecureMemory) -> RecoveryReport {
+    let (ctx, mc, _sideband, _running, _recovery, nvmc) = mem.parts_for_recovery();
+    let geom = ctx.geometry().clone();
+    let key = *ctx.key();
+    let mut leaves_checked = 0u64;
+    // Check every leaf that either exists in NVM or is claimed by the
+    // nvMC (a leaf rolled back to all-zero must still be caught).
+    let mut indices: Vec<u64> = nvmc.keys().copied().collect();
+    for (addr, _) in mc.store().iter() {
+        if let Some(node) = geom.node_at_addr(addr) {
+            if node.level == 0 {
+                indices.push(node.index);
+            }
+        }
+    }
+    indices.sort_unstable();
+    indices.dedup();
+    for index in indices {
+        leaves_checked += 1;
+        let addr = geom.node_addr(NodeId::new(0, index));
+        let line = mc.store().read_line(addr);
+        let expected = nvmc.get(&index).copied().unwrap_or(0);
+        let actual = if expected == 0 && line == [0u8; 64] {
+            0
+        } else {
+            bmt_child_hmac(&key, addr.raw(), &line)
+        };
+        if actual != expected {
+            return RecoveryReport::new(
+                RecoveryOutcome::LeafMacMismatch { leaf: index },
+                leaves_checked,
+                leaves_checked,
+            );
+        }
+    }
+    RecoveryReport::new(RecoveryOutcome::Clean, leaves_checked, leaves_checked)
+}
+
+/// The SIT counter-summing reconstruction of Fig. 8.
+fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
+    let scheme = mem.scheme();
+    let (ctx, mc, sideband, running_root, recovery_root, _nvmc) = mem.parts_for_recovery();
+    let geom = ctx.geometry().clone();
+
+    // Step 0: enumerate the touched leaves from the NVM image.
+    let mut leaves: BTreeMap<u64, scue_crypto::cme::CounterBlock> = BTreeMap::new();
+    let touched: Vec<LineAddr> = mc.store().iter().map(|(a, _)| a).collect();
+    for addr in touched {
+        if let Some(node) = geom.node_at_addr(addr) {
+            if node.level == 0 {
+                leaves.insert(
+                    node.index,
+                    scue_crypto::cme::CounterBlock::from_line(&mc.store().read_line(addr)),
+                );
+            }
+        }
+    }
+    let leaves_checked = leaves.len() as u64;
+    let mut fetches = leaves_checked;
+
+    // Steps 1–2: reconstruct Level-1 counters as leaf dummies and verify
+    // every leaf HMAC against them.
+    for (&index, block) in &leaves {
+        let leaf = NodeId::new(0, index);
+        let dummy = ctx.leaf_dummy(block);
+        let mac = sideband.get(geom.node_addr(leaf));
+        if !ctx.verify_leaf(leaf, block, mac, dummy) {
+            return RecoveryReport::new(
+                RecoveryOutcome::LeafMacMismatch { leaf: index },
+                leaves_checked,
+                fetches,
+            );
+        }
+    }
+
+    // Step 3: sum upward level by level (sparse: only touched subtrees).
+    let mut rebuilt_nodes: Vec<(NodeId, SitNode)> = Vec::new();
+    let mut current: BTreeMap<u64, u64> = leaves
+        .iter()
+        .map(|(&i, b)| (i, ctx.leaf_dummy(b)))
+        .collect();
+    for level in 1..geom.stored_levels() {
+        let mut nodes: BTreeMap<u64, SitNode> = BTreeMap::new();
+        for (&child_idx, &dummy) in &current {
+            let node = nodes.entry(child_idx / 8).or_default();
+            node.set_counter((child_idx % 8) as usize, dummy);
+        }
+        let mut next: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&idx, node) in &nodes {
+            next.insert(idx, node.counter_sum());
+            rebuilt_nodes.push((NodeId::new(level, idx), *node));
+        }
+        current = next;
+    }
+
+    // Step 4: reconstructed root vs. the stored trust base.
+    let mut rebuilt_root = RootRegister::new();
+    for (&idx, &dummy) in &current {
+        rebuilt_root.add((idx % 8) as usize, dummy);
+    }
+    let trusted: &RootRegister = match scheme {
+        SchemeKind::Scue => recovery_root,
+        _ => running_root,
+    };
+    if rebuilt_root != *trusted {
+        return RecoveryReport::new(RecoveryOutcome::RootMismatch, leaves_checked, fetches);
+    }
+
+    // Success: install the reconstructed nodes (with fresh MACs keyed by
+    // their own dummies, the uniform convention) and synchronise roots.
+    for (node_id, mut node) in rebuilt_nodes {
+        fetches += 1;
+        if node.counter_sum() == 0 {
+            continue;
+        }
+        node.hmac = ctx.node_mac(node_id, &node, node.counter_sum());
+        mc.store_mut().write_line(geom.node_addr(node_id), node.to_line());
+    }
+    *running_root = rebuilt_root;
+    *recovery_root = rebuilt_root;
+    RecoveryReport::new(RecoveryOutcome::Clean, leaves_checked, fetches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SecureMemConfig;
+    use scue_nvm::LineAddr;
+
+    fn run_writes(mem: &mut SecureMemory, n: u64) -> u64 {
+        let mut now = 0;
+        for i in 0..n {
+            now = mem
+                .persist_data(LineAddr::new((i * 67) % 4096), [i as u8; 64], now)
+                .unwrap();
+        }
+        now
+    }
+
+    #[test]
+    fn scue_recovers_after_immediate_crash() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let now = run_writes(&mut m, 50);
+        m.crash(now); // no quiesce, no propagation ever finished
+        let report = m.recover();
+        assert_eq!(report.outcome, RecoveryOutcome::Clean);
+        assert!(report.leaves_checked > 0);
+        assert!(report.modelled_ns > 0);
+    }
+
+    #[test]
+    fn scue_recovery_is_usable_after_recover() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let now = run_writes(&mut m, 30);
+        m.crash(now);
+        assert!(m.recover().outcome.is_success());
+        // Machine resumes: reads verify, writes work.
+        let (data, done) = m.read_data(LineAddr::new(67 % 4096), 0).unwrap();
+        assert_eq!(data, [1u8; 64]);
+        m.persist_data(LineAddr::new(9), [9u8; 64], done).unwrap();
+    }
+
+    #[test]
+    fn lazy_recovery_fails_after_mid_run_crash() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy));
+        let now = run_writes(&mut m, 50);
+        m.crash(now);
+        let report = m.recover();
+        assert_eq!(
+            report.outcome,
+            RecoveryOutcome::RootMismatch,
+            "lazy root is inconsistent with persisted leaves (§III-B)"
+        );
+    }
+
+    #[test]
+    fn eager_recovery_fails_inside_crash_window() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Eager));
+        let done = m.persist_data(LineAddr::new(0), [1u8; 64], 0).unwrap();
+        let _ = done;
+        // Crash at cycle 0: the propagation (pending until ~hash done) is
+        // still in flight.
+        m.crash(0);
+        let report = m.recover();
+        assert_eq!(report.outcome, RecoveryOutcome::RootMismatch);
+    }
+
+    #[test]
+    fn eager_recovery_succeeds_outside_crash_window() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Eager));
+        let done = m.persist_data(LineAddr::new(0), [1u8; 64], 0).unwrap();
+        m.crash(done + 100_000); // propagation long since settled
+        assert_eq!(m.recover().outcome, RecoveryOutcome::Clean);
+    }
+
+    #[test]
+    fn plp_recovers_even_inside_window() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Plp));
+        m.persist_data(LineAddr::new(0), [1u8; 64], 0).unwrap();
+        m.crash(0); // PLP persisted the branch; root updates are not pending
+        assert_eq!(m.recover().outcome, RecoveryOutcome::Clean);
+    }
+
+    #[test]
+    fn bmf_recovers_and_verifies() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::BmfIdeal));
+        let now = run_writes(&mut m, 50);
+        m.crash(now);
+        let report = m.recover();
+        assert_eq!(report.outcome, RecoveryOutcome::Clean);
+        assert!(report.leaves_checked > 0);
+    }
+
+    #[test]
+    fn baseline_recovery_is_unverified() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Baseline));
+        let now = run_writes(&mut m, 10);
+        m.crash(now);
+        assert_eq!(m.recover().outcome, RecoveryOutcome::Unverified);
+    }
+
+    #[test]
+    fn data_survives_crash_and_recovery() {
+        for scheme in [SchemeKind::Scue, SchemeKind::Plp, SchemeKind::BmfIdeal] {
+            let mut m = SecureMemory::new(SecureMemConfig::small_test(scheme));
+            let mut now = 0;
+            for i in 0..32u64 {
+                now = m.persist_data(LineAddr::new(i * 64 % 4096), [i as u8 + 1; 64], now).unwrap();
+            }
+            m.crash(now);
+            assert!(m.recover().outcome.is_success(), "{scheme}");
+            let mut t = 0;
+            for i in 0..32u64 {
+                let (data, done) = m.read_data(LineAddr::new(i * 64 % 4096), t).unwrap();
+                assert_eq!(data, [i as u8 + 1; 64], "{scheme} line {i}");
+                t = done;
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_crash_recover_cycles() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let mut now = 0;
+        for round in 0..5u64 {
+            for i in 0..16u64 {
+                now = m
+                    .persist_data(LineAddr::new(i * 5), [round as u8 + 1; 64], now)
+                    .unwrap();
+            }
+            m.crash(now);
+            assert!(m.recover().outcome.is_success(), "round {round}");
+        }
+        let (data, _) = m.read_data(LineAddr::new(0), now).unwrap();
+        assert_eq!(data, [5u8; 64]);
+    }
+
+    #[test]
+    fn eadr_does_not_fix_lazy() {
+        // §III-C: eADR flushes caches but computes nothing; the lazy root
+        // is still inconsistent with the leaves.
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy).with_eadr(true));
+        let now = run_writes(&mut m, 40);
+        m.crash(now);
+        assert_eq!(m.recover().outcome, RecoveryOutcome::RootMismatch);
+    }
+
+    #[test]
+    fn scue_recovers_with_eadr_too() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
+        let now = run_writes(&mut m, 40);
+        m.crash(now);
+        assert_eq!(m.recover().outcome, RecoveryOutcome::Clean);
+    }
+}

@@ -1,0 +1,86 @@
+//! Engine statistics: the raw numbers behind Figs. 9–12 and §V-E.
+
+use scue_nvm::{Cycle, MemStats};
+
+/// Accumulator for a latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, cycles.
+    pub total: u64,
+    /// Largest sample, cycles.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Records one sample.
+    pub fn record(&mut self, cycles: Cycle) {
+        self.count += 1;
+        self.total += cycles;
+        self.max = self.max.max(cycles);
+    }
+
+    /// Mean latency (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything the engine counts while running.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Latency of each user-data persist, from arrival at the controller
+    /// to scheme-defined completion (Fig. 9's metric).
+    pub write_latency: LatencyStats,
+    /// Latency of each user-data read miss serviced by the secure path.
+    pub read_latency: LatencyStats,
+    /// Memory accesses by kind (§V-E).
+    pub mem: MemStats,
+    /// HMAC computations issued.
+    pub hashes: u64,
+    /// Metadata-cache hits / misses / fills.
+    pub mdcache: (u64, u64, u64),
+    /// Counter-block minor overflows handled (64-line re-encryptions).
+    pub overflows: u64,
+    /// Persists completed (leaf write-throughs).
+    pub persists: u64,
+}
+
+impl EngineStats {
+    /// Mean write latency in cycles.
+    pub fn mean_write_latency(&self) -> f64 {
+        self.write_latency.mean()
+    }
+
+    /// Mean read latency in cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        self.read_latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let mut s = LatencyStats::default();
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, 40);
+        assert_eq!(s.max, 30);
+        assert!((s.mean() - 20.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(LatencyStats::default().mean(), 0.0);
+        assert_eq!(EngineStats::default().mean_write_latency(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Scenario tests for the secure-memory engine: the awkward corners —
+//! counter overflow across crashes, tiny-cache victim churn, eADR's
+//! raw (computation-free) flush, and cross-scheme functional agreement.
+
+use scue::{RecoveryOutcome, SchemeKind, SecureMemConfig, SecureMemory};
+use scue_itree::TreeGeometry;
+use scue_nvm::LineAddr;
+
+fn line(fill: u8) -> [u8; 64] {
+    [fill; 64]
+}
+
+/// A minor-counter overflow re-encrypts the covered lines; crashing right
+/// after still recovers (the write-count delta keeps the Recovery_root
+/// sum exact across the wrap — the DESIGN.md delta note).
+#[test]
+fn crash_after_minor_overflow_recovers() {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+    let mut now = 0;
+    // Neighbours that must survive the re-encryption.
+    now = mem.persist_data(LineAddr::new(1), line(0xA1), now).unwrap();
+    now = mem.persist_data(LineAddr::new(2), line(0xA2), now).unwrap();
+    // Drive line 0 through a full wrap (127 increments + overflow).
+    for i in 0..130u32 {
+        now = mem.persist_data(LineAddr::new(0), line(i as u8), now).unwrap();
+    }
+    assert!(mem.stats().overflows >= 1, "overflow must have happened");
+    mem.crash(now);
+    assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+    let (a, t1) = mem.read_data(LineAddr::new(1), 0).unwrap();
+    assert_eq!(a, line(0xA1));
+    let (b, t2) = mem.read_data(LineAddr::new(2), t1).unwrap();
+    assert_eq!(b, line(0xA2));
+    let (c, _) = mem.read_data(LineAddr::new(0), t2).unwrap();
+    assert_eq!(c, line(129));
+}
+
+/// A pathologically small metadata cache churns the victim buffer hard;
+/// the engine must stay functionally exact through the thrash.
+#[test]
+fn tiny_metadata_cache_thrash_is_correct() {
+    let mut cfg = SecureMemConfig::small_test(SchemeKind::Scue);
+    cfg.geometry = TreeGeometry::tiny(512); // 4 stored levels
+    cfg.mdcache_bytes = 8 * 64; // eight lines for a 600+-node metadata set
+    cfg.mdcache_ways = 2;
+    let mut mem = SecureMemory::new(cfg);
+    let mut now = 0;
+    for i in 0..512u64 {
+        now = mem
+            .persist_data(LineAddr::new((i * 919) % 32768), line(i as u8), now)
+            .unwrap();
+    }
+    mem.crash(now);
+    assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+    // Spot-check a few lines post-recovery.
+    let mut t = 0;
+    for i in [0u64, 100, 511] {
+        let (data, done) = mem.read_data(LineAddr::new((i * 919) % 32768), t).unwrap();
+        assert_eq!(data, line(i as u8), "line {i}");
+        t = done;
+    }
+}
+
+/// Same thrash for Lazy: its on-path flush chains go through the same
+/// victim buffer; functional state must remain exact even though its
+/// root is (correctly) inconsistent at the end.
+#[test]
+fn tiny_cache_thrash_lazy_runtime_reads_verify() {
+    let mut cfg = SecureMemConfig::small_test(SchemeKind::Lazy);
+    cfg.geometry = TreeGeometry::tiny(512);
+    cfg.mdcache_bytes = 8 * 64;
+    cfg.mdcache_ways = 2;
+    let mut mem = SecureMemory::new(cfg);
+    let mut now = 0;
+    for i in 0..256u64 {
+        now = mem
+            .persist_data(LineAddr::new((i * 677) % 32768), line(i as u8), now)
+            .unwrap();
+    }
+    // Run-time reads (with full chain verification) all pass.
+    for i in [0u64, 63, 255] {
+        let (data, done) = mem.read_data(LineAddr::new((i * 677) % 32768), now).unwrap();
+        assert_eq!(data, line(i as u8), "line {i}");
+        now = done;
+    }
+}
+
+/// eADR flushes cached nodes with *stale* HMAC fields (no computation,
+/// §III-C). SCUE recovery must rebuild right over them.
+#[test]
+fn eadr_raw_flush_leaves_stale_macs_that_recovery_overwrites() {
+    let mut mem =
+        SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
+    let mut now = 0;
+    for i in 0..64u64 {
+        now = mem
+            .persist_data(LineAddr::new(i * 64 % 4096), line(i as u8), now)
+            .unwrap();
+    }
+    mem.crash(now);
+    // The eADR image contains intermediate nodes whose hmac fields were
+    // never recomputed after their counters changed — recovery must not
+    // trust them, and doesn't (it reconstructs from leaves).
+    assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+    let (data, _) = mem.read_data(LineAddr::new(0), 0).unwrap();
+    assert_eq!(data, line(0));
+}
+
+/// All secure schemes agree byte-for-byte on the *functional* NVM state
+/// of data lines for the same persist sequence (they differ only in
+/// metadata timing and root policy).
+#[test]
+fn schemes_agree_on_ciphertext() {
+    let sequence: Vec<(u64, u8)> = (0..48).map(|i| ((i * 131) % 4096, i as u8)).collect();
+    let mut images = Vec::new();
+    for scheme in [SchemeKind::Lazy, SchemeKind::Scue, SchemeKind::Plp] {
+        let mut mem = SecureMemory::new(SecureMemConfig::small_test(scheme));
+        let mut now = 0;
+        for &(addr, fill) in &sequence {
+            now = mem.persist_data(LineAddr::new(addr), line(fill), now).unwrap();
+        }
+        let image: Vec<[u8; 64]> = sequence
+            .iter()
+            .map(|&(addr, _)| mem.store().read_line(LineAddr::new(addr)))
+            .collect();
+        images.push(image);
+    }
+    assert_eq!(images[0], images[1], "Lazy vs SCUE ciphertext");
+    assert_eq!(images[1], images[2], "SCUE vs PLP ciphertext");
+}
+
+/// BMF-ideal's nvMC grows with the touched leaf set — one persistent
+/// root per counter block, the §V-F overhead driver.
+#[test]
+fn bmf_nvmc_tracks_touched_leaves() {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::BmfIdeal));
+    let mut now = 0;
+    assert_eq!(mem.nvmc_len(), 0);
+    for leaf in 0..10u64 {
+        now = mem
+            .persist_data(LineAddr::new(leaf * 64), line(1), now)
+            .unwrap();
+    }
+    assert_eq!(mem.nvmc_len(), 10);
+    // Rewrites don't add entries.
+    mem.persist_data(LineAddr::new(0), line(2), now).unwrap();
+    assert_eq!(mem.nvmc_len(), 10);
+}
+
+/// Reads of never-written lines succeed under the zero convention and
+/// never count as integrity failures.
+#[test]
+fn never_written_lines_read_clean() {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+    let (data, _) = mem.read_data(LineAddr::new(777), 0).unwrap();
+    // Content is the decryption of zeros — defined, just meaningless.
+    let _ = data;
+    // And it doesn't disturb recovery.
+    mem.crash(1_000);
+    assert_eq!(mem.recover().outcome, RecoveryOutcome::Clean);
+}
+
+/// Recovery_root equality is slot-wise: persists under different root
+/// subtrees land in different counters.
+#[test]
+fn recovery_root_slots_partition_by_subtree() {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+    let geom = mem.context().geometry().clone();
+    let leaves_per_slot = geom.leaf_count() / 8;
+    let mut now = 0;
+    // Two persists in slot 0's subtree, three in slot 5's.
+    for _ in 0..2 {
+        now = mem.persist_data(LineAddr::new(0), line(1), now).unwrap();
+    }
+    let slot5_leaf = 5 * leaves_per_slot;
+    for _ in 0..3 {
+        now = mem
+            .persist_data(LineAddr::new(slot5_leaf * 64), line(2), now)
+            .unwrap();
+    }
+    assert_eq!(mem.recovery_root().counter(0), 2);
+    assert_eq!(mem.recovery_root().counter(5), 3);
+    assert_eq!(mem.recovery_root().counter(3), 0);
+}
+
+/// The engine rejects out-of-range addresses loudly instead of silently
+/// corrupting metadata regions.
+#[test]
+#[should_panic(expected = "outside the protected data region")]
+fn metadata_region_writes_rejected() {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+    let beyond = mem.context().geometry().data_lines();
+    let _ = mem.persist_data(LineAddr::new(beyond), line(1), 0);
+}

@@ -1,0 +1,192 @@
+//! Bonsai Merkle Tree logic (Fig. 3) — the comparison substrate.
+//!
+//! A BMT protects the CME counter blocks: each parent node holds the
+//! HMACs of its eight children's full line contents, so high levels are
+//! pure functions of low levels and the tree reconstructs bottom-up
+//! naturally — the property §IV-B retrofits onto SIT via counter-summing.
+//! The BMT root is the keyed hash over the top level's node lines, held
+//! on-chip.
+
+use crate::geometry::{NodeId, TreeGeometry};
+use crate::node::BmtNode;
+use scue_crypto::hmac::bmt_child_hmac;
+use scue_crypto::siphash::WordHasher;
+use scue_crypto::SecretKey;
+use scue_nvm::NvmStore;
+
+/// The on-chip BMT root: one keyed digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BmtRoot(pub u64);
+
+/// Context for BMT operations: geometry + key.
+///
+/// The geometry is shared with SIT (leaves are the same counter blocks);
+/// BMT nodes occupy the same metadata addresses, holding HMACs instead of
+/// counters.
+#[derive(Debug, Clone)]
+pub struct BmtContext {
+    geometry: TreeGeometry,
+    key: SecretKey,
+}
+
+impl BmtContext {
+    /// Creates a context.
+    pub fn new(geometry: TreeGeometry, key: SecretKey) -> Self {
+        Self { geometry, key }
+    }
+
+    /// The tree geometry.
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// The HMAC a parent stores for child `child`: keyed hash of the
+    /// child's address and current line content.
+    pub fn child_mac(&self, store: &NvmStore, child: NodeId) -> u64 {
+        let addr = self.geometry.node_addr(child);
+        bmt_child_hmac(&self.key, addr.raw(), &store.read_line(addr))
+    }
+
+    /// Reads a BMT node (levels >= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_id` is level 0 (leaves are counter blocks).
+    pub fn read_node(&self, store: &NvmStore, node_id: NodeId) -> BmtNode {
+        assert!(node_id.level > 0, "level 0 holds counter blocks");
+        BmtNode::from_line(&store.read_line(self.geometry.node_addr(node_id)))
+    }
+
+    /// Writes a BMT node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_id` is level 0.
+    pub fn write_node(&self, store: &mut NvmStore, node_id: NodeId, node: &BmtNode) {
+        assert!(node_id.level > 0, "level 0 holds counter blocks");
+        store.write_line(self.geometry.node_addr(node_id), node.to_line());
+    }
+
+    /// Rebuilds every intermediate node from the leaves up and returns
+    /// the root digest — both the initial construction and the
+    /// post-crash reconstruction (they are the same computation in a
+    /// BMT, which is its whole appeal).
+    pub fn rebuild_all(&self, store: &mut NvmStore) -> BmtRoot {
+        let geom = &self.geometry;
+        for level in 1..geom.stored_levels() {
+            for node_idx in 0..geom.level_count(level) {
+                let node_id = NodeId::new(level, node_idx);
+                let mut node = BmtNode::new();
+                for child in geom.children(node_id) {
+                    node.set_child_hmac(child.parent_slot(), self.child_mac(store, child));
+                }
+                self.write_node(store, node_id, &node);
+            }
+        }
+        self.root_digest(store)
+    }
+
+    /// The current root digest: keyed hash over the top stored level's
+    /// line contents.
+    pub fn root_digest(&self, store: &NvmStore) -> BmtRoot {
+        let mut h = WordHasher::new(&self.key);
+        h.write_u64(0x424D_545F_524F_4F54); // domain tag "BMT_ROOT"
+        for top in self.geometry.root_children() {
+            let line = store.read_line(self.geometry.node_addr(top));
+            for chunk in line.chunks_exact(8) {
+                h.write_u64(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            }
+        }
+        BmtRoot(h.finish())
+    }
+
+    /// Verifies a child against its parent's stored HMAC.
+    pub fn verify_child(&self, store: &NvmStore, child: NodeId) -> bool {
+        match self.geometry.parent(child) {
+            crate::geometry::Parent::Node(parent) => {
+                let pnode = self.read_node(store, parent);
+                pnode.child_hmac(child.parent_slot()) == self.child_mac(store, child)
+            }
+            crate::geometry::Parent::Root(_) => true, // covered by the root digest
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scue_crypto::cme::CounterBlock;
+
+    fn ctx() -> BmtContext {
+        BmtContext::new(TreeGeometry::tiny(64), SecretKey::from_seed(7))
+    }
+
+    fn write_leaf(ctx: &BmtContext, store: &mut NvmStore, idx: u64, bumps: usize) {
+        let mut block = CounterBlock::new();
+        for _ in 0..bumps {
+            block.increment(0).unwrap();
+        }
+        store.write_line(ctx.geometry().node_addr(NodeId::new(0, idx)), block.to_line());
+    }
+
+    #[test]
+    fn rebuild_then_verify_all_children() {
+        let c = ctx();
+        let mut store = NvmStore::new();
+        write_leaf(&c, &mut store, 0, 1);
+        write_leaf(&c, &mut store, 33, 2);
+        c.rebuild_all(&mut store);
+        for idx in 0..64 {
+            assert!(c.verify_child(&store, NodeId::new(0, idx)), "leaf {idx}");
+        }
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let c = ctx();
+        let mut store = NvmStore::new();
+        write_leaf(&c, &mut store, 0, 1);
+        let r1 = c.rebuild_all(&mut store);
+        write_leaf(&c, &mut store, 0, 2);
+        let r2 = c.rebuild_all(&mut store);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn reconstruction_matches_original_root() {
+        let c = ctx();
+        let mut store = NvmStore::new();
+        write_leaf(&c, &mut store, 5, 3);
+        let original = c.rebuild_all(&mut store);
+        // Wipe intermediates (a crash lost them), keep leaves.
+        for level in 1..c.geometry().stored_levels() {
+            for idx in 0..c.geometry().level_count(level) {
+                let addr = c.geometry().node_addr(NodeId::new(level, idx));
+                store.tamper_line(addr, [0u8; 64]);
+            }
+        }
+        let rebuilt = c.rebuild_all(&mut store);
+        assert_eq!(original, rebuilt, "BMT reconstructs from leaves alone");
+    }
+
+    #[test]
+    fn tampered_leaf_fails_child_verification() {
+        let c = ctx();
+        let mut store = NvmStore::new();
+        write_leaf(&c, &mut store, 9, 2);
+        c.rebuild_all(&mut store);
+        write_leaf(&c, &mut store, 9, 5); // "attack": change without re-MAC
+        assert!(!c.verify_child(&store, NodeId::new(0, 9)));
+    }
+
+    #[test]
+    fn tampered_leaf_changes_reconstructed_root() {
+        let c = ctx();
+        let mut store = NvmStore::new();
+        write_leaf(&c, &mut store, 9, 2);
+        let original = c.rebuild_all(&mut store);
+        write_leaf(&c, &mut store, 9, 5);
+        let attacked = c.rebuild_all(&mut store);
+        assert_ne!(original, attacked, "root comparison catches the tamper");
+    }
+}

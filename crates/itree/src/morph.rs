@@ -1,0 +1,157 @@
+//! Wider-node tree organisations: VAULT and MorphCtr (§VII related work).
+//!
+//! The paper's SIT stores 8 counters per 64 B node; VAULT packs more
+//! (shorter, fatter trees at the cost of narrower counters), and MorphCtr
+//! reaches 128 counters per node with morphable encoding. The discussion
+//! section argues SCUE applies unchanged because counter-summing only
+//! needs "parent counter = Σ child counters", which is arity-independent.
+//!
+//! This module provides the analytic model behind that argument: tree
+//! height, node counts, NVM storage and crash-window length as functions
+//! of node arity — the ablation the `tree_arity` harness prints.
+
+/// A node organisation: how many counters (children) one 64 B node holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeOrganisation {
+    /// Scheme label.
+    pub name: &'static str,
+    /// Counters per 64 B node.
+    pub arity: u64,
+    /// Counter width in bits (what fits after the embedded MAC).
+    pub counter_bits: u32,
+}
+
+/// The organisations discussed by the paper and its related work.
+pub const ORGANISATIONS: [NodeOrganisation; 4] = [
+    NodeOrganisation {
+        name: "SIT (paper)",
+        arity: 8,
+        counter_bits: 56,
+    },
+    NodeOrganisation {
+        name: "SGX counters",
+        arity: 8,
+        counter_bits: 56,
+    },
+    NodeOrganisation {
+        name: "VAULT",
+        arity: 16,
+        counter_bits: 28,
+    },
+    NodeOrganisation {
+        name: "MorphCtr",
+        arity: 128,
+        counter_bits: 3, // morphable: 3-bit minors + shared majors
+    },
+];
+
+/// Analytic shape of a tree over `leaf_count` leaves with the given
+/// arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Fan-out used.
+    pub arity: u64,
+    /// Levels including the on-chip root.
+    pub total_levels: u32,
+    /// NVM-resident nodes (all stored levels above the leaves).
+    pub interior_nodes: u64,
+    /// NVM bytes for the interior nodes.
+    pub interior_bytes: u64,
+}
+
+/// Computes the tree shape over `leaf_count` leaf counter blocks.
+///
+/// # Panics
+///
+/// Panics if `arity < 2` or `leaf_count == 0`.
+pub fn tree_shape(leaf_count: u64, arity: u64) -> TreeShape {
+    assert!(arity >= 2, "fan-out must be at least 2");
+    assert!(leaf_count > 0, "need at least one leaf");
+    let mut level = leaf_count;
+    let mut interior = 0u64;
+    let mut levels = 1u32; // leaf level
+    while level > arity {
+        level = level.div_ceil(arity);
+        interior += level;
+        levels += 1;
+    }
+    // On-chip root on top of the last stored level.
+    levels += 1;
+    TreeShape {
+        arity,
+        total_levels: levels,
+        interior_nodes: interior,
+        interior_bytes: interior * 64,
+    }
+}
+
+/// Length of the eager-propagation crash window for a tree of
+/// `total_levels` with `hash_latency`-cycle HMACs and `read_latency`
+/// cycles per uncached ancestor fetch on a cold branch: the quantity SCUE
+/// reduces to zero (§IV-A).
+pub fn crash_window_cycles(
+    total_levels: u32,
+    hash_latency: u64,
+    read_latency: u64,
+    cached_fraction: f64,
+) -> u64 {
+    let interior_levels = total_levels.saturating_sub(2) as u64; // exclude leaves + root
+    let cold = (interior_levels as f64 * (1.0 - cached_fraction)).ceil() as u64;
+    // SIT computes branch HMACs in parallel: one hash latency, plus the
+    // serial reads of uncached ancestors.
+    cold * read_latency + hash_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_recovered() {
+        // 16 GB → 2^22 leaves → 9 levels at arity 8 (Table II).
+        let shape = tree_shape(1 << 22, 8);
+        assert_eq!(shape.total_levels, 9);
+    }
+
+    #[test]
+    fn wider_nodes_flatten_the_tree() {
+        let sit = tree_shape(1 << 22, 8);
+        let vault = tree_shape(1 << 22, 16);
+        let morph = tree_shape(1 << 22, 128);
+        assert!(vault.total_levels < sit.total_levels);
+        assert!(morph.total_levels < vault.total_levels);
+        assert!(morph.interior_bytes < vault.interior_bytes);
+        assert!(vault.interior_bytes < sit.interior_bytes);
+    }
+
+    #[test]
+    fn interior_counts_are_exact_for_small_trees() {
+        // 64 leaves at arity 8: one level of 8 interior nodes.
+        let shape = tree_shape(64, 8);
+        assert_eq!(shape.interior_nodes, 8);
+        assert_eq!(shape.total_levels, 3);
+        // 8 leaves: no interior level, root directly above.
+        let shape = tree_shape(8, 8);
+        assert_eq!(shape.interior_nodes, 0);
+        assert_eq!(shape.total_levels, 2);
+    }
+
+    #[test]
+    fn crash_window_shrinks_with_height_and_vanishes_never() {
+        let tall = crash_window_cycles(9, 40, 126, 0.9);
+        let flat = crash_window_cycles(4, 40, 126, 0.9);
+        assert!(flat <= tall);
+        assert!(flat >= 40, "at least one hash latency remains");
+    }
+
+    #[test]
+    fn fully_cached_branch_still_pays_the_hash() {
+        assert_eq!(crash_window_cycles(9, 40, 126, 1.0), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_arity_rejected() {
+        let _ = tree_shape(64, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! On-chip non-volatile root registers.
+//!
+//! The root is the only tree node that *never* leaves the trusted domain:
+//! it lives in a non-volatile on-chip register, survives power failure,
+//! and cannot be tampered with (§III-A). Like any SIT node it is eight
+//! counters, but it carries no HMAC — nothing above it to key one.
+//!
+//! SCUE keeps **two** roots (Fig. 6c): a `Running_root` updated lazily
+//! like any parent node (used for run-time verification) and a
+//! `Recovery_root` updated instantaneously on every leaf persist (used to
+//! check counter-summing reconstruction after a crash). Both are 64 B, so
+//! SCUE's on-chip cost is 128 B of registers (§V-F).
+
+use crate::node::{COUNTERS_PER_NODE, COUNTER_MASK};
+
+/// An on-chip root register: eight 56-bit counters, non-volatile,
+/// untamperable.
+///
+/// # Example
+///
+/// ```
+/// use scue_itree::RootRegister;
+///
+/// let mut root = RootRegister::new();
+/// root.add(2, 1);
+/// root.add(2, 41);
+/// assert_eq!(root.counter(2), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RootRegister {
+    counters: [u64; COUNTERS_PER_NODE],
+}
+
+impl RootRegister {
+    /// A zeroed root (fresh machine / fresh key domain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads counter `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn counter(&self, slot: usize) -> u64 {
+        self.counters[slot]
+    }
+
+    /// All eight counters.
+    pub fn counters(&self) -> &[u64; COUNTERS_PER_NODE] {
+        &self.counters
+    }
+
+    /// Adds `delta` to counter `slot` (mod 2^56) — the SCUE shortcut
+    /// update is `add(slot, persist_delta)` with no other tree work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn add(&mut self, slot: usize, delta: u64) {
+        self.counters[slot] = self.counters[slot].wrapping_add(delta) & COUNTER_MASK;
+    }
+
+    /// Overwrites counter `slot` (used by eager propagation and by
+    /// recovery when installing a reconstructed root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn set(&mut self, slot: usize, value: u64) {
+        self.counters[slot] = value & COUNTER_MASK;
+    }
+
+    /// Register size in bytes (for the §V-F overhead accounting).
+    pub const fn size_bytes() -> usize {
+        COUNTERS_PER_NODE * 8
+    }
+}
+
+impl std::fmt::Display for RootRegister {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Root{:?}", self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_root_is_zero() {
+        let root = RootRegister::new();
+        assert!(root.counters().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn add_accumulates_per_slot() {
+        let mut root = RootRegister::new();
+        root.add(0, 5);
+        root.add(7, 2);
+        root.add(0, 1);
+        assert_eq!(root.counter(0), 6);
+        assert_eq!(root.counter(7), 2);
+        assert_eq!(root.counter(3), 0);
+    }
+
+    #[test]
+    fn add_wraps_mod_2_56() {
+        let mut root = RootRegister::new();
+        root.set(0, COUNTER_MASK);
+        root.add(0, 1);
+        assert_eq!(root.counter(0), 0);
+    }
+
+    #[test]
+    fn set_truncates() {
+        let mut root = RootRegister::new();
+        root.set(1, u64::MAX);
+        assert_eq!(root.counter(1), COUNTER_MASK);
+    }
+
+    #[test]
+    fn size_is_64_bytes() {
+        assert_eq!(RootRegister::size_bytes(), 64);
+    }
+
+    #[test]
+    fn equality_detects_divergence() {
+        let mut a = RootRegister::new();
+        let b = RootRegister::new();
+        assert_eq!(a, b);
+        a.add(4, 1);
+        assert_ne!(a, b);
+    }
+}

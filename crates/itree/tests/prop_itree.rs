@@ -1,0 +1,171 @@
+//! Property tests for the integrity-tree substrate.
+//!
+//! The central invariant of the whole paper lives here: under fully
+//! propagated (eager) updates, **a parent counter equals the sum of its
+//! child counters**, and the root counter equals the sum of all leaf
+//! write counts in its subtree (Fig. 7). `rebuild_all` is the reference
+//! eager construction, so these properties are checked against it for
+//! arbitrary leaf populations.
+
+use proptest::prelude::*;
+use scue_crypto::cme::CounterBlock;
+use scue_crypto::SecretKey;
+use scue_itree::geometry::{NodeId, Parent, TreeGeometry};
+use scue_itree::{MacSideband, SitContext};
+use scue_nvm::NvmStore;
+
+/// Applies `(leaf, minor, times)` increments through the CounterBlock API
+/// and writes the blocks into the store.
+fn populate(
+    ctx: &SitContext,
+    store: &mut NvmStore,
+    ops: &[(u64, usize, usize)],
+) -> Vec<CounterBlock> {
+    let leaf_count = ctx.geometry().leaf_count();
+    let mut blocks = vec![CounterBlock::new(); leaf_count as usize];
+    for &(leaf, minor, times) in ops {
+        let leaf = leaf % leaf_count;
+        for _ in 0..times {
+            blocks[leaf as usize].increment(minor % 64).unwrap();
+        }
+    }
+    for (i, block) in blocks.iter().enumerate() {
+        store.write_line(
+            ctx.geometry().node_addr(NodeId::new(0, i as u64)),
+            block.to_line(),
+        );
+    }
+    blocks
+}
+
+proptest! {
+    /// Parent counter == sum of child counters, at every level, for any
+    /// leaf population.
+    #[test]
+    fn counter_sum_invariant(
+        leaves in 1u64..65,
+        ops in proptest::collection::vec((any::<u64>(), 0usize..64, 1usize..6), 0..40),
+    ) {
+        let ctx = SitContext::new(TreeGeometry::tiny(leaves), SecretKey::from_seed(1));
+        let mut store = NvmStore::new();
+        let mut sideband = MacSideband::new();
+        let blocks = populate(&ctx, &mut store, &ops);
+        let root = ctx.rebuild_all(&mut store, &mut sideband);
+        let geom = ctx.geometry();
+
+        // Leaf level: parent counter slot equals leaf dummy.
+        for (i, block) in blocks.iter().enumerate() {
+            let leaf = NodeId::new(0, i as u64);
+            let parent_counter = match geom.parent(leaf) {
+                Parent::Node(p) => ctx.read_node(&store, p).counter(leaf.parent_slot()),
+                Parent::Root(slot) => root.counter(slot),
+            };
+            prop_assert_eq!(parent_counter, ctx.leaf_dummy(block));
+        }
+
+        // Intermediate levels: parent counter equals node dummy.
+        for level in 1..geom.stored_levels() {
+            for idx in 0..geom.level_count(level) {
+                let node_id = NodeId::new(level, idx);
+                let node = ctx.read_node(&store, node_id);
+                let parent_counter = match geom.parent(node_id) {
+                    Parent::Node(p) => ctx.read_node(&store, p).counter(node_id.parent_slot()),
+                    Parent::Root(slot) => root.counter(slot),
+                };
+                prop_assert_eq!(parent_counter, ctx.node_dummy(&node));
+            }
+        }
+
+        // Root: total equals total leaf write count.
+        let total: u64 = blocks.iter().map(|b| b.write_count()).sum();
+        prop_assert_eq!(root.counters().iter().sum::<u64>(), total);
+    }
+
+    /// Every populated leaf verifies against its reconstructed parent
+    /// counter, and any single-counter tamper breaks verification.
+    #[test]
+    fn leaf_verification_sound_and_complete(
+        ops in proptest::collection::vec((0u64..16, 0usize..64, 1usize..4), 1..20),
+        tamper_leaf in 0u64..16,
+    ) {
+        let ctx = SitContext::new(TreeGeometry::tiny(16), SecretKey::from_seed(2));
+        let mut store = NvmStore::new();
+        let mut sideband = MacSideband::new();
+        populate(&ctx, &mut store, &ops);
+        ctx.rebuild_all(&mut store, &mut sideband);
+
+        for i in 0..16u64 {
+            let leaf = NodeId::new(0, i);
+            let block = ctx.read_leaf(&store, leaf);
+            let mac = ctx.read_leaf_mac(&sideband, leaf);
+            prop_assert!(ctx.verify_leaf(leaf, &block, mac, ctx.leaf_dummy(&block)));
+        }
+
+        // Tamper: bump one minor without re-MACing.
+        let leaf = NodeId::new(0, tamper_leaf);
+        let mut block = ctx.read_leaf(&store, leaf);
+        block.increment(0).unwrap();
+        store.tamper_line(ctx.geometry().node_addr(leaf), block.to_line());
+        let mac = ctx.read_leaf_mac(&sideband, leaf);
+        prop_assert!(!ctx.verify_leaf(leaf, &block, mac, ctx.leaf_dummy(&block)));
+    }
+
+    /// rebuild_all is a pure function of the leaves: wiping intermediates
+    /// and rebuilding reproduces the identical root (bottom-up
+    /// reconstructability — what counter-summing buys SIT).
+    #[test]
+    fn reconstruction_from_leaves_alone(
+        ops in proptest::collection::vec((0u64..64, 0usize..64, 1usize..4), 0..30),
+    ) {
+        let ctx = SitContext::new(TreeGeometry::tiny(64), SecretKey::from_seed(3));
+        let mut store = NvmStore::new();
+        let mut sideband = MacSideband::new();
+        populate(&ctx, &mut store, &ops);
+        let original = ctx.rebuild_all(&mut store, &mut sideband);
+        let geom = ctx.geometry();
+        for level in 1..geom.stored_levels() {
+            for idx in 0..geom.level_count(level) {
+                store.tamper_line(geom.node_addr(NodeId::new(level, idx)), [0u8; 64]);
+            }
+        }
+        let rebuilt = ctx.rebuild_all(&mut store, &mut sideband);
+        prop_assert_eq!(original, rebuilt);
+    }
+
+    /// Geometry bijection holds for arbitrary sizes: every node address
+    /// decodes back to the node, and regions never overlap.
+    #[test]
+    fn geometry_bijection(data_lines in 1u64..100_000) {
+        let geom = TreeGeometry::for_data_lines(data_lines);
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..geom.stored_levels() {
+            let count = geom.level_count(level);
+            for idx in [0, count / 2, count - 1] {
+                let node = NodeId::new(level, idx);
+                let addr = geom.node_addr(node);
+                prop_assert!(addr.raw() >= data_lines, "metadata after data");
+                prop_assert!(addr.raw() < geom.total_lines());
+                prop_assert_eq!(geom.node_at_addr(addr), Some(node));
+                seen.insert(addr);
+            }
+        }
+        // Sampled addresses are distinct across levels.
+        let sampled: usize = (0..geom.stored_levels())
+            .map(|l| {
+                let c = geom.level_count(l);
+                [0, c / 2, c - 1].iter().collect::<std::collections::HashSet<_>>().len()
+            })
+            .sum();
+        prop_assert_eq!(seen.len(), sampled);
+    }
+
+    /// Root-slot partition: every leaf's ancestor chain ends at the slot
+    /// `root_slot_of_leaf` predicts.
+    #[test]
+    fn root_slot_consistency(data_lines in 64u64..1_000_000, probe in any::<u64>()) {
+        let geom = TreeGeometry::for_data_lines(data_lines);
+        let leaf = probe % geom.leaf_count();
+        let (_, slot) = geom.ancestors(NodeId::new(0, leaf));
+        prop_assert_eq!(slot, geom.root_slot_of_leaf(leaf));
+    }
+}

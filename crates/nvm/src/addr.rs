@@ -1,0 +1,121 @@
+//! Line-granular physical addressing.
+//!
+//! Every transfer in the system is one 64 B line, so addresses are line
+//! numbers rather than byte addresses. [`LineAddr`] is a newtype to keep
+//! line numbers from mixing with byte offsets, level indices or cycle
+//! counts.
+
+/// Bytes per line — cache block and NVM access granularity (Table II).
+pub const LINE_BYTES: usize = 64;
+
+/// Simulation time in CPU cycles (2 GHz core clock, Table II).
+pub type Cycle = u64;
+
+/// A line-granular physical address (line number, not byte address).
+///
+/// # Example
+///
+/// ```
+/// use scue_nvm::LineAddr;
+///
+/// let a = LineAddr::from_byte_addr(0x1000);
+/// assert_eq!(a.raw(), 0x1000 / 64);
+/// assert_eq!(a.byte_addr(), 0x1000);
+/// assert_eq!(a.offset(3).raw(), a.raw() + 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line number.
+    pub const fn new(line_number: u64) -> Self {
+        Self(line_number)
+    }
+
+    /// Converts a byte address (must be line-aligned in normal use; the
+    /// low bits are truncated).
+    pub const fn from_byte_addr(byte_addr: u64) -> Self {
+        Self(byte_addr / LINE_BYTES as u64)
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the start of this line.
+    pub const fn byte_addr(self) -> u64 {
+        self.0 * LINE_BYTES as u64
+    }
+
+    /// The line `delta` lines after this one.
+    pub const fn offset(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+}
+
+impl std::fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(line_number: u64) -> Self {
+        Self(line_number)
+    }
+}
+
+impl From<LineAddr> for u64 {
+    fn from(addr: LineAddr) -> Self {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_roundtrip() {
+        let a = LineAddr::new(123);
+        assert_eq!(LineAddr::from_byte_addr(a.byte_addr()), a);
+    }
+
+    #[test]
+    fn from_byte_addr_truncates() {
+        assert_eq!(LineAddr::from_byte_addr(65), LineAddr::new(1));
+        assert_eq!(LineAddr::from_byte_addr(127), LineAddr::new(1));
+        assert_eq!(LineAddr::from_byte_addr(128), LineAddr::new(2));
+    }
+
+    #[test]
+    fn offset_advances() {
+        assert_eq!(LineAddr::new(10).offset(5), LineAddr::new(15));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", LineAddr::new(255)), "0xff");
+        assert_eq!(format!("{:?}", LineAddr::new(255)), "LineAddr(0xff)");
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let a: LineAddr = 7u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 7);
+    }
+}

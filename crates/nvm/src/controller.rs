@@ -1,0 +1,279 @@
+//! The memory-controller back end: store + timing + WPQs + ADR.
+//!
+//! This is the component every update scheme talks to. It routes reads to
+//! the PCM device, writes through the appropriate write-pending queue
+//! (user data vs. security metadata, Table II), keeps the functional NVM
+//! image in sync, and implements the ADR/eADR crash contract: anything
+//! accepted into a WPQ is durable, anything only in volatile caches is
+//! durable only under eADR.
+
+use crate::addr::{Cycle, LineAddr};
+use crate::store::{Line, NvmStore};
+use crate::timing::{PcmDevice, PcmTiming};
+use crate::wpq::{Enqueued, WritePendingQueue};
+
+/// What a memory access carries — the paper separates user-data traffic
+/// from security-metadata traffic throughout the evaluation (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Encrypted user data lines.
+    UserData,
+    /// Counter blocks and integrity-tree nodes.
+    Metadata,
+}
+
+/// Per-kind access statistics (drives the §V-E memory-access experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// User-data line reads served from NVM.
+    pub user_reads: u64,
+    /// User-data line writes accepted.
+    pub user_writes: u64,
+    /// Metadata line reads served from NVM.
+    pub meta_reads: u64,
+    /// Metadata line writes accepted.
+    pub meta_writes: u64,
+}
+
+impl MemStats {
+    /// Total reads of any kind.
+    pub fn total_reads(&self) -> u64 {
+        self.user_reads + self.meta_reads
+    }
+
+    /// Total writes of any kind.
+    pub fn total_writes(&self) -> u64 {
+        self.user_writes + self.meta_writes
+    }
+
+    /// Total accesses of any kind.
+    pub fn total(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Metadata-only accesses (reads + writes).
+    pub fn metadata_total(&self) -> u64 {
+        self.meta_reads + self.meta_writes
+    }
+}
+
+/// Fixed controller pipeline overhead added to every device access, cycles.
+const CONTROLLER_OVERHEAD: u64 = 14;
+
+/// The NVM memory controller back end.
+///
+/// # Example
+///
+/// ```
+/// use scue_nvm::{AccessKind, LineAddr, MemoryController};
+///
+/// let mut mc = MemoryController::paper();
+/// let line = [9u8; 64];
+/// let accepted = mc.write(LineAddr::new(4), line, 0, AccessKind::UserData);
+/// let (data, done) = mc.read(LineAddr::new(4), accepted.accepted, AccessKind::UserData);
+/// assert_eq!(data, line);
+/// assert!(done > accepted.accepted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    store: NvmStore,
+    device: PcmDevice,
+    user_wpq: WritePendingQueue,
+    meta_wpq: WritePendingQueue,
+    stats: MemStats,
+}
+
+impl MemoryController {
+    /// Builds a controller from explicit parts.
+    pub fn new(
+        store: NvmStore,
+        device: PcmDevice,
+        user_wpq_entries: usize,
+        meta_wpq_entries: usize,
+    ) -> Self {
+        Self {
+            store,
+            device,
+            user_wpq: WritePendingQueue::new(user_wpq_entries),
+            meta_wpq: WritePendingQueue::new(meta_wpq_entries),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The paper's configuration: 16 GB PCM, 64-entry user WPQ, 10-entry
+    /// metadata WPQ.
+    pub fn paper() -> Self {
+        Self::new(NvmStore::new(), PcmDevice::paper(), 64, 10)
+    }
+
+    /// A small fast controller for unit tests.
+    pub fn for_tests() -> Self {
+        Self::new(
+            NvmStore::new(),
+            PcmDevice::new(PcmTiming::uniform(10), 4, 64),
+            4,
+            2,
+        )
+    }
+
+    /// Reads a line; returns its content and the completion cycle.
+    pub fn read(&mut self, addr: LineAddr, now: Cycle, kind: AccessKind) -> (Line, Cycle) {
+        match kind {
+            AccessKind::UserData => self.stats.user_reads += 1,
+            AccessKind::Metadata => self.stats.meta_reads += 1,
+        }
+        let sched = self.device.schedule_read(addr, now + CONTROLLER_OVERHEAD);
+        (self.store.read_line(addr), sched.done)
+    }
+
+    /// Accepts a write; the line is durable once accepted (ADR covers the
+    /// WPQ), and the media write drains in the background.
+    pub fn write(&mut self, addr: LineAddr, line: Line, now: Cycle, kind: AccessKind) -> Enqueued {
+        let wpq = match kind {
+            AccessKind::UserData => {
+                self.stats.user_writes += 1;
+                &mut self.user_wpq
+            }
+            AccessKind::Metadata => {
+                self.stats.meta_writes += 1;
+                &mut self.meta_wpq
+            }
+        };
+        let enq = wpq.enqueue(addr, now + CONTROLLER_OVERHEAD, &mut self.device);
+        // Functionally durable at acceptance: ADR drains the WPQ on crash.
+        self.store.write_line(addr, line);
+        enq
+    }
+
+    /// Accepts a write that is *coalesced* with another in-flight
+    /// transaction to the same DIMM — Supermem-style counter write-through,
+    /// where the counter line rides with its data line. The write is
+    /// durable immediately and counts toward §V-E access statistics, but
+    /// adds no separate device transaction.
+    pub fn write_coalesced(&mut self, addr: LineAddr, line: Line, kind: AccessKind) {
+        match kind {
+            AccessKind::UserData => self.stats.user_writes += 1,
+            AccessKind::Metadata => self.stats.meta_writes += 1,
+        }
+        self.store.write_line(addr, line);
+    }
+
+    /// Peeks at NVM content without timing or statistics (used by recovery,
+    /// which the paper times separately via its own fetch model).
+    pub fn peek(&self, addr: LineAddr) -> Line {
+        self.store.read_line(addr)
+    }
+
+    /// Cycle by which both WPQs have fully drained.
+    pub fn drained_at(&self) -> Cycle {
+        self.user_wpq.drained_at().max(self.meta_wpq.drained_at())
+    }
+
+    /// Models a power failure under ADR: queued writes are already durable
+    /// in the functional store; volatile device/queue state clears.
+    pub fn crash(&mut self) {
+        self.user_wpq.clear();
+        self.meta_wpq.clear();
+        self.device.reset_occupancy();
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Immutable view of the functional NVM image.
+    pub fn store(&self) -> &NvmStore {
+        &self.store
+    }
+
+    /// Mutable view of the functional NVM image (attack injection,
+    /// recovery rewrites).
+    pub fn store_mut(&mut self) -> &mut NvmStore {
+        &mut self.store
+    }
+
+    /// The timing device (for idle horizons and counters).
+    pub fn device(&self) -> &PcmDevice {
+        &self.device
+    }
+
+    /// WPQ statistics: `(user (enqueued, stalls, peak), metadata (...))`.
+    pub fn wpq_stats(&self) -> ((u64, u64, usize), (u64, u64, usize)) {
+        (self.user_wpq.stats(), self.meta_wpq.stats())
+    }
+}
+
+impl Default for MemoryController {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mc = MemoryController::for_tests();
+        let line = [0xAB; 64];
+        mc.write(LineAddr::new(7), line, 0, AccessKind::UserData);
+        let (data, done) = mc.read(LineAddr::new(7), 100, AccessKind::UserData);
+        assert_eq!(data, line);
+        assert!(done >= 100);
+    }
+
+    #[test]
+    fn stats_split_by_kind() {
+        let mut mc = MemoryController::for_tests();
+        mc.write(LineAddr::new(0), [1; 64], 0, AccessKind::UserData);
+        mc.write(LineAddr::new(1), [2; 64], 0, AccessKind::Metadata);
+        mc.read(LineAddr::new(0), 0, AccessKind::UserData);
+        mc.read(LineAddr::new(1), 0, AccessKind::Metadata);
+        mc.read(LineAddr::new(1), 0, AccessKind::Metadata);
+        let s = mc.stats();
+        assert_eq!(s.user_reads, 1);
+        assert_eq!(s.user_writes, 1);
+        assert_eq!(s.meta_reads, 2);
+        assert_eq!(s.meta_writes, 1);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.metadata_total(), 3);
+    }
+
+    #[test]
+    fn writes_survive_crash() {
+        let mut mc = MemoryController::for_tests();
+        mc.write(LineAddr::new(3), [3; 64], 0, AccessKind::UserData);
+        mc.crash();
+        assert_eq!(mc.peek(LineAddr::new(3)), [3; 64], "ADR drains the WPQ");
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut mc = MemoryController::for_tests();
+        mc.write(LineAddr::new(3), [3; 64], 0, AccessKind::UserData);
+        let _ = mc.peek(LineAddr::new(3));
+        assert_eq!(mc.stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn controller_overhead_applied() {
+        let mut mc = MemoryController::for_tests();
+        let (_, done) = mc.read(LineAddr::new(0), 0, AccessKind::UserData);
+        // uniform(10) miss = tRCD + tCL = 20 cycles after overhead.
+        assert_eq!(done, 14 + 20);
+    }
+
+    #[test]
+    fn metadata_queue_is_separate() {
+        let mut mc = MemoryController::for_tests();
+        // Saturate the 2-entry metadata queue; user queue stays free.
+        for i in 0..8 {
+            mc.write(LineAddr::new(i * 4), [1; 64], 0, AccessKind::Metadata);
+        }
+        let ((_, user_stalls, _), (_, meta_stalls, _)) = mc.wpq_stats();
+        assert_eq!(user_stalls, 0);
+        assert!(meta_stalls > 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Non-volatile memory substrate: the reproduction's stand-in for NVMain.
+//!
+//! The paper evaluates on Gem5 + NVMain modelling a 16 GB DDR-based PCM
+//! DIMM (Table II). This crate provides the equivalent memory-side model:
+//!
+//! * [`addr`] — line-granular physical addressing shared by every layer.
+//! * [`store`] — the *functional* NVM: a sparse, zero-filled map of 64 B
+//!   lines, with snapshot/restore for crash experiments and an explicit
+//!   tampering interface for the attacker (NVM contents are untrusted in
+//!   the threat model, §II-A).
+//! * [`timing`] — the *timing* NVM: banked PCM with the paper's
+//!   `tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns` parameters,
+//!   row-buffer hits and a tFAW activation window.
+//! * [`wpq`] — the write-pending queue: 64 tagged entries for user data and
+//!   10 untagged entries for security metadata (Table II), inside the ADR
+//!   persistence domain.
+//! * [`controller`] — ties store + timing + WPQ into the memory-controller
+//!   back end the simulator calls into, with per-kind access statistics.
+//!
+//! Timing and function are deliberately separated: writes become durable
+//! (visible in the [`store::NvmStore`]) the moment they enter the WPQ —
+//! because ADR guarantees the WPQ drains on power failure — while the
+//! timing model still charges bank occupancy and queue stalls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod controller;
+pub mod store;
+pub mod timing;
+pub mod wpq;
+
+pub use addr::{Cycle, LineAddr, LINE_BYTES};
+pub use controller::{AccessKind, MemoryController, MemStats};
+pub use store::NvmStore;

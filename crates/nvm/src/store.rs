@@ -1,0 +1,208 @@
+//! The functional NVM image: sparse, zero-filled, snapshot-able, attackable.
+//!
+//! A 16 GB device holds 2^28 lines, far more than any trace touches, so the
+//! store is a hash map of touched lines over an implicit all-zero image.
+//! Untouched lines read as zero — which the integrity layer exploits: an
+//! all-zero SIT node with an all-zero "never written" MAC convention sums
+//! to zero in counter-summing recovery, so untouched subtrees cost nothing
+//! to reconstruct.
+//!
+//! Because NVM is *outside* the trusted domain (§II-A), the store also
+//! exposes [`NvmStore::tamper_line`] so attack experiments can model an
+//! adversary with full physical access (stolen DIMM, bus control).
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use std::collections::HashMap;
+
+/// One 64 B line of content.
+pub type Line = [u8; LINE_BYTES];
+
+/// An all-zero line, the content of any never-written address.
+pub const ZERO_LINE: Line = [0u8; LINE_BYTES];
+
+/// Sparse functional NVM image.
+#[derive(Debug, Clone, Default)]
+pub struct NvmStore {
+    lines: HashMap<LineAddr, Line>,
+    capacity_lines: Option<u64>,
+    writes: u64,
+}
+
+impl NvmStore {
+    /// An unbounded store (tests, small experiments).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that rejects addresses at or beyond `capacity_lines`.
+    pub fn with_capacity_lines(capacity_lines: u64) -> Self {
+        Self {
+            lines: HashMap::new(),
+            capacity_lines: Some(capacity_lines),
+            writes: 0,
+        }
+    }
+
+    /// Reads a line; untouched lines are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the configured capacity — that is a
+    /// simulator wiring bug, not a runtime condition.
+    pub fn read_line(&self, addr: LineAddr) -> Line {
+        self.check_bounds(addr);
+        self.lines.get(&addr).copied().unwrap_or(ZERO_LINE)
+    }
+
+    /// Writes a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the configured capacity.
+    pub fn write_line(&mut self, addr: LineAddr, line: Line) {
+        self.check_bounds(addr);
+        self.writes += 1;
+        if line == ZERO_LINE {
+            // Keep the map sparse: a zero write restores the implicit image.
+            self.lines.remove(&addr);
+        } else {
+            self.lines.insert(addr, line);
+        }
+    }
+
+    /// Number of distinct touched (non-zero) lines.
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total writes ever applied (endurance proxy).
+    pub fn total_writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Iterates over all non-zero lines (address order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.lines.iter().map(|(a, l)| (*a, l))
+    }
+
+    /// Captures the full image for later [`NvmStore::restore`] — used by
+    /// crash experiments to model "the state at power-fail".
+    pub fn snapshot(&self) -> NvmSnapshot {
+        NvmSnapshot {
+            lines: self.lines.clone(),
+        }
+    }
+
+    /// Restores a previously captured image (write statistics unchanged).
+    pub fn restore(&mut self, snapshot: &NvmSnapshot) {
+        self.lines = snapshot.lines.clone();
+    }
+
+    /// Adversarial mutation of NVM content, bypassing all accounting.
+    ///
+    /// Returns the previous content so attacks can record old (data, MAC)
+    /// tuples for replay.
+    pub fn tamper_line(&mut self, addr: LineAddr, line: Line) -> Line {
+        self.check_bounds(addr);
+        let old = self.lines.get(&addr).copied().unwrap_or(ZERO_LINE);
+        if line == ZERO_LINE {
+            self.lines.remove(&addr);
+        } else {
+            self.lines.insert(addr, line);
+        }
+        old
+    }
+
+    fn check_bounds(&self, addr: LineAddr) {
+        if let Some(cap) = self.capacity_lines {
+            assert!(
+                addr.raw() < cap,
+                "address {addr} beyond NVM capacity of {cap} lines"
+            );
+        }
+    }
+}
+
+/// A captured NVM image (see [`NvmStore::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct NvmSnapshot {
+    lines: HashMap<LineAddr, Line>,
+}
+
+impl NvmSnapshot {
+    /// Number of non-zero lines in the snapshot.
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_lines_read_zero() {
+        let store = NvmStore::new();
+        assert_eq!(store.read_line(LineAddr::new(42)), ZERO_LINE);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut store = NvmStore::new();
+        let line = [7u8; LINE_BYTES];
+        store.write_line(LineAddr::new(1), line);
+        assert_eq!(store.read_line(LineAddr::new(1)), line);
+        assert_eq!(store.touched_lines(), 1);
+    }
+
+    #[test]
+    fn zero_write_keeps_store_sparse() {
+        let mut store = NvmStore::new();
+        store.write_line(LineAddr::new(1), [1u8; LINE_BYTES]);
+        store.write_line(LineAddr::new(1), ZERO_LINE);
+        assert_eq!(store.touched_lines(), 0);
+        assert_eq!(store.read_line(LineAddr::new(1)), ZERO_LINE);
+        assert_eq!(store.total_writes(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = NvmStore::new();
+        store.write_line(LineAddr::new(3), [3u8; LINE_BYTES]);
+        let snap = store.snapshot();
+        store.write_line(LineAddr::new(3), [4u8; LINE_BYTES]);
+        store.write_line(LineAddr::new(9), [9u8; LINE_BYTES]);
+        store.restore(&snap);
+        assert_eq!(store.read_line(LineAddr::new(3)), [3u8; LINE_BYTES]);
+        assert_eq!(store.read_line(LineAddr::new(9)), ZERO_LINE);
+    }
+
+    #[test]
+    fn tamper_returns_old_content() {
+        let mut store = NvmStore::new();
+        store.write_line(LineAddr::new(5), [5u8; LINE_BYTES]);
+        let old = store.tamper_line(LineAddr::new(5), [6u8; LINE_BYTES]);
+        assert_eq!(old, [5u8; LINE_BYTES]);
+        assert_eq!(store.read_line(LineAddr::new(5)), [6u8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn tamper_does_not_count_as_write() {
+        let mut store = NvmStore::new();
+        store.tamper_line(LineAddr::new(5), [1u8; LINE_BYTES]);
+        assert_eq!(store.total_writes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond NVM capacity")]
+    fn capacity_enforced() {
+        let store = NvmStore::with_capacity_lines(10);
+        let _ = store.read_line(LineAddr::new(10));
+    }
+
+    #[test]
+    fn capacity_boundary_is_exclusive() {
+        let mut store = NvmStore::with_capacity_lines(10);
+        store.write_line(LineAddr::new(9), [1u8; LINE_BYTES]); // ok
+    }
+}

@@ -1,0 +1,377 @@
+//! Banked PCM timing model with the paper's latency parameters.
+//!
+//! Table II models the PCM DIMM with
+//! `tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns`. At the 2 GHz
+//! core clock this is `96/30/26/100/15/600` cycles. The model covers the
+//! effects that matter to the evaluation's *relative* numbers:
+//!
+//! * per-bank occupancy — extra metadata traffic queues behind user data;
+//! * row-buffer hits — sequential metadata walks are cheaper than random;
+//! * the long PCM write recovery (`tWR` = 300 ns) — why write-heavy schemes
+//!   (PLP persisting whole branches) hurt so much;
+//! * the `tFAW` activation window and write→read turnaround (`tWTR`).
+
+use crate::addr::{Cycle, LineAddr};
+use std::collections::VecDeque;
+
+/// PCM timing parameters in *cycles* (see [`PcmTiming::paper_2ghz`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcmTiming {
+    /// Row activate-to-column latency.
+    pub t_rcd: u64,
+    /// Column read latency.
+    pub t_cl: u64,
+    /// Column write delay.
+    pub t_cwd: u64,
+    /// Four-activate window.
+    pub t_faw: u64,
+    /// Write-to-read turnaround.
+    pub t_wtr: u64,
+    /// Write recovery (the dominant PCM cost).
+    pub t_wr: u64,
+}
+
+impl PcmTiming {
+    /// The paper's Table II parameters converted to 2 GHz cycles.
+    pub fn paper_2ghz() -> Self {
+        Self {
+            t_rcd: 96,
+            t_cl: 30,
+            t_cwd: 26,
+            t_faw: 100,
+            t_wtr: 15,
+            t_wr: 600,
+        }
+    }
+
+    /// A fast uniform model for unit tests (1-cycle everything).
+    pub fn uniform(latency: u64) -> Self {
+        Self {
+            t_rcd: latency,
+            t_cl: latency,
+            t_cwd: latency,
+            t_faw: 0,
+            t_wtr: 0,
+            t_wr: latency,
+        }
+    }
+}
+
+impl Default for PcmTiming {
+    fn default() -> Self {
+        Self::paper_2ghz()
+    }
+}
+
+/// Result of scheduling one device access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled {
+    /// Cycle the device began servicing the request.
+    pub start: Cycle,
+    /// Cycle the request's data transfer completed (read data available /
+    /// write data accepted).
+    pub done: Cycle,
+    /// Whether the access hit the open row buffer.
+    pub row_hit: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LastOp {
+    None,
+    Read,
+    Write,
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    busy_until: Cycle,
+    open_row: Option<u64>,
+    last_op: LastOp,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Self {
+            busy_until: 0,
+            open_row: None,
+            last_op: LastOp::None,
+        }
+    }
+}
+
+/// The banked PCM device timing engine.
+///
+/// # Example
+///
+/// ```
+/// use scue_nvm::timing::{PcmDevice, PcmTiming};
+/// use scue_nvm::LineAddr;
+///
+/// let mut dev = PcmDevice::new(PcmTiming::paper_2ghz(), 16, 64);
+/// let first = dev.schedule_read(LineAddr::new(0), 0);
+/// let second = dev.schedule_read(LineAddr::new(1), first.done);
+/// assert!(second.row_hit, "adjacent line in the same row hits the row buffer");
+/// assert!(second.done - second.start < first.done - first.start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcmDevice {
+    timing: PcmTiming,
+    banks: Vec<Bank>,
+    lines_per_row: u64,
+    activates: VecDeque<Cycle>,
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+}
+
+impl PcmDevice {
+    /// Creates a device with `bank_count` banks and rows of
+    /// `lines_per_row` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_count` or `lines_per_row` is zero.
+    pub fn new(timing: PcmTiming, bank_count: usize, lines_per_row: u64) -> Self {
+        assert!(bank_count > 0, "need at least one bank");
+        assert!(lines_per_row > 0, "need at least one line per row");
+        Self {
+            timing,
+            banks: (0..bank_count).map(|_| Bank::new()).collect(),
+            lines_per_row,
+            activates: VecDeque::new(),
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Device with the paper's configuration: 16 banks, 4 KB rows.
+    pub fn paper() -> Self {
+        Self::new(PcmTiming::paper_2ghz(), 16, 64)
+    }
+
+    /// The timing parameters in use.
+    pub fn timing(&self) -> &PcmTiming {
+        &self.timing
+    }
+
+    /// Lifetime (reads, writes, row-buffer hits).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.reads, self.writes, self.row_hits)
+    }
+
+    fn bank_and_row(&self, addr: LineAddr) -> (usize, u64) {
+        // Row-interleaved mapping: a whole row lives in one bank, so
+        // sequential lines enjoy row-buffer hits while consecutive rows
+        // spread across banks.
+        let row = addr.raw() / self.lines_per_row;
+        let bank = (row % self.banks.len() as u64) as usize;
+        (bank, row)
+    }
+
+    /// Earliest cycle at which a new row activate may issue, honouring the
+    /// four-activate window, and records the activate.
+    fn activate_at(&mut self, earliest: Cycle) -> Cycle {
+        let t_faw = self.timing.t_faw;
+        if t_faw == 0 {
+            return earliest;
+        }
+        // Drop activates that left the window.
+        while self.activates.len() >= 4 {
+            let oldest = *self.activates.front().expect("len >= 4");
+            if oldest + t_faw <= earliest {
+                self.activates.pop_front();
+            } else {
+                break;
+            }
+        }
+        let at = if self.activates.len() >= 4 {
+            let oldest = *self.activates.front().expect("len >= 4");
+            self.activates.pop_front();
+            oldest + t_faw
+        } else {
+            earliest
+        };
+        self.activates.push_back(at);
+        at
+    }
+
+    /// Schedules a read of `addr` arriving at the controller at `now`.
+    pub fn schedule_read(&mut self, addr: LineAddr, now: Cycle) -> Scheduled {
+        self.reads += 1;
+        let (bank_idx, row) = self.bank_and_row(addr);
+        let t = self.timing;
+        let row_hit = self.banks[bank_idx].open_row == Some(row);
+        let bank = &self.banks[bank_idx];
+        let mut earliest = now.max(bank.busy_until);
+        if bank.last_op == LastOp::Write {
+            earliest += t.t_wtr;
+        }
+        let (start, done) = if row_hit {
+            let start = earliest;
+            (start, start + t.t_cl)
+        } else {
+            let start = self.activate_at(earliest);
+            (start, start + t.t_rcd + t.t_cl)
+        };
+        if row_hit {
+            self.row_hits += 1;
+        }
+        let bank = &mut self.banks[bank_idx];
+        bank.busy_until = done;
+        bank.open_row = Some(row);
+        bank.last_op = LastOp::Read;
+        Scheduled { start, done, row_hit }
+    }
+
+    /// Schedules a write of `addr` issued to the device at `now`. `done` is
+    /// when the device accepted the data; the bank stays busy through the
+    /// PCM write-recovery time beyond that.
+    pub fn schedule_write(&mut self, addr: LineAddr, now: Cycle) -> Scheduled {
+        self.writes += 1;
+        let (bank_idx, row) = self.bank_and_row(addr);
+        let t = self.timing;
+        let row_hit = self.banks[bank_idx].open_row == Some(row);
+        let earliest = now.max(self.banks[bank_idx].busy_until);
+        let (start, done) = if row_hit {
+            let start = earliest;
+            (start, start + t.t_cwd)
+        } else {
+            let start = self.activate_at(earliest);
+            (start, start + t.t_rcd + t.t_cwd)
+        };
+        if row_hit {
+            self.row_hits += 1;
+        }
+        let bank = &mut self.banks[bank_idx];
+        bank.busy_until = done + t.t_wr;
+        bank.open_row = Some(row);
+        bank.last_op = LastOp::Write;
+        Scheduled { start, done, row_hit }
+    }
+
+    /// Cycle at which every bank is idle (used to time WPQ drain / ADR
+    /// flush completion).
+    pub fn all_idle_at(&self) -> Cycle {
+        self.banks.iter().map(|b| b.busy_until).max().unwrap_or(0)
+    }
+
+    /// Clears bank state (across reboots) without clearing counters.
+    pub fn reset_occupancy(&mut self) {
+        for bank in &mut self.banks {
+            *bank = Bank::new();
+        }
+        self.activates.clear();
+    }
+}
+
+impl Default for PcmDevice {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> PcmDevice {
+        PcmDevice::paper()
+    }
+
+    #[test]
+    fn read_miss_costs_rcd_plus_cl() {
+        let mut d = dev();
+        let s = d.schedule_read(LineAddr::new(0), 0);
+        assert!(!s.row_hit);
+        assert_eq!(s.done, 96 + 30);
+    }
+
+    #[test]
+    fn read_hit_costs_cl_only() {
+        let mut d = dev();
+        let first = d.schedule_read(LineAddr::new(0), 0);
+        let s = d.schedule_read(LineAddr::new(1), first.done);
+        assert!(s.row_hit);
+        assert_eq!(s.done - s.start, 30);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = dev();
+        let a = d.schedule_read(LineAddr::new(0), 0); // row 0 -> bank 0
+        let b = d.schedule_read(LineAddr::new(64), 0); // row 1 -> bank 1
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 0, "distinct banks service in parallel");
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut d = dev();
+        let a = d.schedule_read(LineAddr::new(0), 0); // row 0 -> bank 0
+        let b = d.schedule_read(LineAddr::new(64 * 16), 0); // row 16 -> bank 0
+        assert!(b.start >= a.done, "same bank must wait");
+    }
+
+    #[test]
+    fn write_recovery_blocks_bank() {
+        let mut d = dev();
+        let w = d.schedule_write(LineAddr::new(0), 0);
+        let r = d.schedule_read(LineAddr::new(0), w.done);
+        // Bank busy through write recovery plus write->read turnaround.
+        assert!(r.start >= w.done + 600, "tWR must gate the next access");
+    }
+
+    #[test]
+    fn wtr_turnaround_applied() {
+        let mut d = dev();
+        let w = d.schedule_write(LineAddr::new(0), 0);
+        let r = d.schedule_read(LineAddr::new(0), 0);
+        let gap = r.start - (w.done + 600);
+        assert_eq!(gap, 15, "tWTR applies after write recovery");
+    }
+
+    #[test]
+    fn tfaw_limits_activate_burst() {
+        let mut d = dev();
+        // Five row misses on five different banks, all at cycle 0: the
+        // fifth activate must wait out the tFAW window.
+        let mut starts: Vec<Cycle> = (0..5)
+            .map(|i| d.schedule_read(LineAddr::new(i * 64), 0).start)
+            .collect();
+        starts.sort_unstable();
+        assert_eq!(starts[3], 0, "first four activates are free");
+        assert_eq!(starts[4], 100, "fifth activate waits tFAW");
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let mut d = dev();
+        d.schedule_read(LineAddr::new(0), 0);
+        d.schedule_write(LineAddr::new(0), 0);
+        let (r, w, _) = d.counters();
+        assert_eq!((r, w), (1, 1));
+    }
+
+    #[test]
+    fn all_idle_tracks_latest_bank() {
+        let mut d = dev();
+        let w = d.schedule_write(LineAddr::new(3), 0);
+        assert_eq!(d.all_idle_at(), w.done + 600);
+    }
+
+    #[test]
+    fn reset_occupancy_frees_banks() {
+        let mut d = dev();
+        d.schedule_write(LineAddr::new(0), 0);
+        d.reset_occupancy();
+        let r = d.schedule_read(LineAddr::new(0), 0);
+        assert_eq!(r.start, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = PcmDevice::new(PcmTiming::paper_2ghz(), 0, 64);
+    }
+}

@@ -1,0 +1,220 @@
+//! The write-pending queue (WPQ) inside the ADR persistence domain.
+//!
+//! Table II configures two queues: 64 tagged entries for user data and 10
+//! untagged entries for security metadata. Writes become *durable* the
+//! moment they are accepted into the WPQ — Intel ADR guarantees the queue
+//! drains to media on power failure — so a write's "persist latency" is
+//! its queue-acceptance time, while the media write itself drains in the
+//! background and only matters when the queue backs up.
+
+use crate::addr::{Cycle, LineAddr};
+use crate::timing::PcmDevice;
+use std::collections::VecDeque;
+
+/// Outcome of enqueueing one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Enqueued {
+    /// Cycle the entry was accepted into the queue (the durability point,
+    /// and the stall seen by the writer if the queue was full).
+    pub accepted: Cycle,
+    /// Cycle the underlying media write finishes draining.
+    pub drained: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: LineAddr,
+    drained: Cycle,
+}
+
+/// A fixed-capacity write-pending queue backed by a [`PcmDevice`].
+///
+/// # Example
+///
+/// ```
+/// use scue_nvm::timing::PcmDevice;
+/// use scue_nvm::wpq::WritePendingQueue;
+/// use scue_nvm::LineAddr;
+///
+/// let mut dev = PcmDevice::paper();
+/// let mut wpq = WritePendingQueue::new(4);
+/// let e = wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+/// assert_eq!(e.accepted, 0, "empty queue accepts immediately");
+/// assert!(e.drained > 0, "media write drains later");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritePendingQueue {
+    capacity: usize,
+    entries: VecDeque<Entry>,
+    full_stalls: u64,
+    enqueued: u64,
+    coalesced: u64,
+    max_occupancy: usize,
+}
+
+impl WritePendingQueue {
+    /// Creates a queue holding at most `capacity` in-flight writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ capacity must be non-zero");
+        Self {
+            capacity,
+            entries: VecDeque::new(),
+            full_stalls: 0,
+            enqueued: 0,
+            coalesced: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries still draining at `now`.
+    pub fn occupancy(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|e| e.drained > now).count()
+    }
+
+    /// (total enqueued, enqueues that stalled on a full queue, peak occupancy).
+    pub fn stats(&self) -> (u64, u64, usize) {
+        (self.enqueued, self.full_stalls, self.max_occupancy)
+    }
+
+    /// Writes that merged into an already-pending entry.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    fn retire(&mut self, now: Cycle) {
+        // Writes to different banks drain out of order, so a slot frees
+        // whenever *any* entry has drained, not just the oldest.
+        self.entries.retain(|e| e.drained > now);
+    }
+
+    /// Enqueues a write to `addr` arriving at `now`, scheduling the media
+    /// write on `device`. If the queue is full the writer stalls until the
+    /// earliest-draining entry frees a slot.
+    pub fn enqueue(&mut self, addr: LineAddr, now: Cycle, device: &mut PcmDevice) -> Enqueued {
+        self.retire(now);
+        // Same-address coalescing: a write to a line already pending
+        // merges into the queued entry — no new slot, no extra media
+        // write (standard write-combining WPQ behaviour).
+        if let Some(entry) = self.entries.iter().find(|e| e.addr == addr) {
+            self.enqueued += 1;
+            self.coalesced += 1;
+            return Enqueued {
+                accepted: now,
+                drained: entry.drained,
+            };
+        }
+        let accepted = if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.drained)
+                .expect("queue full");
+            let earliest = self.entries.remove(idx).expect("index valid").drained;
+            earliest.max(now)
+        } else {
+            now
+        };
+        let sched = device.schedule_write(addr, accepted);
+        let drained = sched.done;
+        self.entries.push_back(Entry { addr, drained });
+        self.enqueued += 1;
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        Enqueued { accepted, drained }
+    }
+
+    /// Cycle by which every queued entry has drained (ADR flush horizon).
+    pub fn drained_at(&self) -> Cycle {
+        self.entries.iter().map(|e| e.drained).max().unwrap_or(0)
+    }
+
+    /// Empties the queue (after a crash the ADR flush has already made the
+    /// contents durable in the functional store).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::PcmTiming;
+
+    fn fast_device() -> PcmDevice {
+        // One bank so writes serialize and the queue actually fills.
+        PcmDevice::new(PcmTiming::uniform(100), 1, 64)
+    }
+
+    #[test]
+    fn empty_queue_accepts_immediately() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(2);
+        let e = wpq.enqueue(LineAddr::new(0), 50, &mut dev);
+        assert_eq!(e.accepted, 50);
+    }
+
+    #[test]
+    fn full_queue_stalls_writer() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(2);
+        // Three back-to-back writes into a 2-deep queue on one bank.
+        let a = wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+        let b = wpq.enqueue(LineAddr::new(64), 0, &mut dev);
+        let c = wpq.enqueue(LineAddr::new(128), 0, &mut dev);
+        assert_eq!(a.accepted, 0);
+        assert_eq!(b.accepted, 0);
+        assert_eq!(c.accepted, a.drained, "third write waits for the oldest drain");
+        let (enq, stalls, peak) = wpq.stats();
+        assert_eq!(enq, 3);
+        assert_eq!(stalls, 1);
+        assert_eq!(peak, 2);
+    }
+
+    #[test]
+    fn retire_frees_slots() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(1);
+        let a = wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+        // Arrive long after the first write drained: no stall.
+        let b = wpq.enqueue(LineAddr::new(64), a.drained + 10_000, &mut dev);
+        assert_eq!(b.accepted, a.drained + 10_000);
+        let (_, stalls, _) = wpq.stats();
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn occupancy_counts_in_flight() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(8);
+        wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+        wpq.enqueue(LineAddr::new(64), 0, &mut dev);
+        assert_eq!(wpq.occupancy(0), 2);
+        assert_eq!(wpq.occupancy(wpq.drained_at()), 0);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(2);
+        wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+        wpq.clear();
+        assert_eq!(wpq.occupancy(0), 0);
+        assert_eq!(wpq.drained_at(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = WritePendingQueue::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! `scue-simulate` — run any workload under any scheme from the command
+//! line, with optional crash/recovery and multi-core fan-out.
+//!
+//! ```text
+//! scue-simulate [--scheme SCHEME] [--workload NAME] [--ops N]
+//!               [--seed N] [--hash-latency CYC] [--cores N]
+//!               [--crash-at CYCLE] [--eadr]
+//! ```
+
+use scue::{SchemeKind, SecureMemConfig};
+use scue_sim::{System, SystemConfig};
+use scue_workloads::{Trace, Workload};
+
+#[derive(Debug)]
+struct Args {
+    scheme: SchemeKind,
+    workload: Workload,
+    ops: usize,
+    seed: u64,
+    hash_latency: u64,
+    cores: usize,
+    crash_at: Option<u64>,
+    eadr: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: scue-simulate [--scheme baseline|lazy|eager|plp|bmf|scue]");
+    eprintln!("                     [--workload array|btree|hash|queue|rbtree|lbm|mcf|");
+    eprintln!("                      libquantum|omnetpp|milc|soplex|gcc|bwaves]");
+    eprintln!("                     [--ops N] [--seed N] [--hash-latency 20|40|80|160]");
+    eprintln!("                     [--cores N] [--crash-at CYCLE] [--eadr]");
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => SchemeKind::Baseline,
+        "lazy" => SchemeKind::Lazy,
+        "eager" => SchemeKind::Eager,
+        "plp" => SchemeKind::Plp,
+        "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
+        "scue" => SchemeKind::Scue,
+        _ => return None,
+    })
+}
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == s.to_ascii_lowercase())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: SchemeKind::Scue,
+        workload: Workload::Btree,
+        ops: 20_000,
+        seed: 1,
+        hash_latency: 40,
+        cores: 1,
+        crash_at: None,
+        eadr: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |it: &mut dyn Iterator<Item = String>| -> String {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                args.scheme = parse_scheme(&value(&mut it)).unwrap_or_else(|| usage())
+            }
+            "--workload" => {
+                args.workload = parse_workload(&value(&mut it)).unwrap_or_else(|| usage())
+            }
+            "--ops" => args.ops = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--hash-latency" => {
+                args.hash_latency = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--cores" => args.cores = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--crash-at" => {
+                args.crash_at = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--eadr" => args.eadr = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mem = SecureMemConfig::paper(args.scheme)
+        .with_hash_latency(args.hash_latency)
+        .with_eadr(args.eadr);
+    let cfg = SystemConfig {
+        mem,
+        ..SystemConfig::paper(args.scheme)
+    }
+    .with_cores(args.cores);
+    let mut system = System::new(cfg);
+
+    println!(
+        "scheme {} | workload {} | {} ops x {} core(s) | hash {} cyc | eadr {}",
+        args.scheme, args.workload, args.ops, args.cores, args.hash_latency, args.eadr
+    );
+
+    if let Some(stop) = args.crash_at {
+        let trace = args.workload.generate(args.ops, args.seed);
+        let consumed = system.run_until(&trace, stop).expect("integrity violation");
+        println!("crash at cycle {} after {consumed} ops", system.now());
+        system.crash();
+        let report = system.engine_mut().recover();
+        println!(
+            "recovery: {:?} ({} leaves, {} fetches, {:.3} ms modelled)",
+            report.outcome,
+            report.leaves_checked,
+            report.metadata_fetches,
+            report.modelled_ns as f64 / 1e6
+        );
+        std::process::exit(if report.outcome.is_success() { 0 } else { 1 });
+    }
+
+    let traces: Vec<Trace> = (0..args.cores)
+        .map(|i| args.workload.generate(args.ops, args.seed + i as u64))
+        .collect();
+    let result = system.run_traces(&traces).expect("integrity violation");
+    println!("cycles:            {}", result.cycles);
+    println!("ops replayed:      {}", result.ops);
+    println!("persists:          {}", result.engine.persists);
+    println!("mean write lat:    {:.1} cyc", result.mean_write_latency());
+    println!("mean read lat:     {:.1} cyc", result.engine.mean_read_latency());
+    println!(
+        "memory accesses:   {} user ({} r / {} w), {} metadata ({} r / {} w)",
+        result.engine.mem.user_reads + result.engine.mem.user_writes,
+        result.engine.mem.user_reads,
+        result.engine.mem.user_writes,
+        result.engine.mem.metadata_total(),
+        result.engine.mem.meta_reads,
+        result.engine.mem.meta_writes
+    );
+    println!("hmacs computed:    {}", result.engine.hashes);
+    println!(
+        "mdcache h/m/fill:  {}/{}/{}",
+        result.engine.mdcache.0, result.engine.mdcache.1, result.engine.mdcache.2
+    );
+    println!("counter overflows: {}", result.engine.overflows);
+}

@@ -1,0 +1,90 @@
+//! Full-system configuration (Table II).
+
+use scue::{SchemeKind, SecureMemConfig};
+use scue_cache::HierarchyConfig;
+use scue_itree::TreeGeometry;
+
+/// Configuration of the whole evaluated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Secure-memory engine configuration (scheme, geometry, hash
+    /// latency, metadata cache, WPQs).
+    pub mem: SecureMemConfig,
+    /// Data-cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Core count (Table II: 8; figure runs use 1 for deterministic
+    /// attribution of write latencies).
+    pub cores: usize,
+}
+
+impl SystemConfig {
+    /// The paper's Table II system for the given scheme.
+    pub fn paper(scheme: SchemeKind) -> Self {
+        Self {
+            mem: SecureMemConfig::paper(scheme),
+            hierarchy: HierarchyConfig::paper(),
+            cores: 1,
+        }
+    }
+
+    /// A small, fast system for unit tests: a 64 MB data region (large
+    /// enough for every workload generator's footprint), small caches.
+    pub fn fast(scheme: SchemeKind) -> Self {
+        let mut mem = SecureMemConfig::small_test(scheme).with_mdcache_bytes(256 * 64);
+        mem.geometry = TreeGeometry::tiny(16 * 1024);
+        Self {
+            mem,
+            hierarchy: HierarchyConfig::tiny(),
+            cores: 1,
+        }
+    }
+
+    /// A mid-size system used by the figure harnesses: the paper's
+    /// 16 GB geometry and 256 KB metadata cache, with the real
+    /// hierarchy, but sized so full runs complete in seconds.
+    pub fn figure(scheme: SchemeKind) -> Self {
+        Self {
+            mem: SecureMemConfig {
+                geometry: TreeGeometry::paper_16gb(),
+                ..SecureMemConfig::paper(scheme)
+            },
+            hierarchy: HierarchyConfig::paper(),
+            cores: 1,
+        }
+    }
+
+    /// Overrides the hash latency (Figs. 11–12).
+    pub fn with_hash_latency(mut self, cycles: u64) -> Self {
+        self.mem.hash_latency = cycles;
+        self
+    }
+
+    /// Overrides the core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_table_ii() {
+        let cfg = SystemConfig::paper(SchemeKind::Scue);
+        assert_eq!(cfg.mem.hash_latency, 40);
+        assert_eq!(cfg.hierarchy.l3_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.mem.geometry.total_levels(), 9);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SystemConfig::fast(SchemeKind::Lazy)
+            .with_hash_latency(80)
+            .with_cores(4);
+        assert_eq!(cfg.mem.hash_latency, 80);
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.mem.scheme, SchemeKind::Lazy);
+    }
+}

@@ -1,0 +1,241 @@
+//! Experiment sweeps: one function per paper figure/table data series.
+//!
+//! Each function replays the same workload traces under every scheme (or
+//! parameter value) on the Table II system and returns the normalised
+//! series the corresponding figure plots. The bench harness binaries
+//! print them; the `figure_shapes` integration test asserts their shape
+//! (who wins, by roughly what factor).
+
+use crate::config::SystemConfig;
+use crate::runner::System;
+use scue::SchemeKind;
+use scue_crypto::engine::PAPER_HASH_LATENCIES;
+use scue_workloads::Workload;
+
+/// One workload's row in a scheme-comparison figure.
+#[derive(Debug, Clone)]
+pub struct WorkloadRow {
+    /// The workload.
+    pub workload: Workload,
+    /// Raw Baseline value (cycles or mean latency) for reference.
+    pub baseline_raw: f64,
+    /// Per-scheme values normalised to Baseline, in
+    /// [`SchemeKind::FIGURE_SCHEMES`] order.
+    pub normalized: Vec<(SchemeKind, f64)>,
+}
+
+impl WorkloadRow {
+    /// The normalised value for one scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not part of the row.
+    pub fn value(&self, scheme: SchemeKind) -> f64 {
+        self.normalized
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{scheme} not in row"))
+    }
+}
+
+/// Arithmetic mean of one scheme's normalised values across rows (the
+/// paper's "on average" numbers).
+pub fn mean_of(rows: &[WorkloadRow], scheme: SchemeKind) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.value(scheme)).sum::<f64>() / rows.len() as f64
+}
+
+/// What a scheme run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean write latency (Fig. 9).
+    WriteLatency,
+    /// Total execution cycles (Fig. 10).
+    ExecTime,
+    /// Security-metadata memory accesses (§V-E).
+    MetadataAccesses,
+}
+
+fn measure(metric: Metric, system_cfg: SystemConfig, workload: Workload, scale: usize, seed: u64) -> f64 {
+    let trace = workload.generate(scale, seed);
+    let mut system = System::new(system_cfg);
+    let result = system
+        .run_trace(&trace)
+        .expect("no attacks are injected during figure runs");
+    match metric {
+        Metric::WriteLatency => result.mean_write_latency(),
+        Metric::ExecTime => result.cycles as f64,
+        Metric::MetadataAccesses => result.engine.mem.metadata_total() as f64,
+    }
+}
+
+/// Runs one workload under Baseline + the four figure schemes and
+/// normalises.
+pub fn scheme_comparison_row(
+    metric: Metric,
+    workload: Workload,
+    scale: usize,
+    seed: u64,
+) -> WorkloadRow {
+    let baseline_raw = measure(
+        metric,
+        SystemConfig::figure(SchemeKind::Baseline),
+        workload,
+        scale,
+        seed,
+    );
+    let normalized = SchemeKind::FIGURE_SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let raw = measure(metric, SystemConfig::figure(scheme), workload, scale, seed);
+            (scheme, raw / baseline_raw.max(1.0))
+        })
+        .collect();
+    WorkloadRow {
+        workload,
+        baseline_raw,
+        normalized,
+    }
+}
+
+/// Fig. 9: write latencies normalised to Baseline, per workload.
+pub fn fig9_write_latency(workloads: &[Workload], scale: usize, seed: u64) -> Vec<WorkloadRow> {
+    workloads
+        .iter()
+        .map(|&w| scheme_comparison_row(Metric::WriteLatency, w, scale, seed))
+        .collect()
+}
+
+/// Fig. 10: execution time normalised to Baseline, per workload.
+pub fn fig10_exec_time(workloads: &[Workload], scale: usize, seed: u64) -> Vec<WorkloadRow> {
+    workloads
+        .iter()
+        .map(|&w| scheme_comparison_row(Metric::ExecTime, w, scale, seed))
+        .collect()
+}
+
+/// §V-E: metadata memory accesses normalised to the Lazy scheme.
+pub fn metadata_accesses_vs_lazy(
+    workloads: &[Workload],
+    scale: usize,
+    seed: u64,
+) -> Vec<(Workload, Vec<(SchemeKind, f64)>)> {
+    workloads
+        .iter()
+        .map(|&w| {
+            let lazy = measure(
+                Metric::MetadataAccesses,
+                SystemConfig::figure(SchemeKind::Lazy),
+                w,
+                scale,
+                seed,
+            );
+            let series = [SchemeKind::Plp, SchemeKind::BmfIdeal, SchemeKind::Scue]
+                .iter()
+                .map(|&s| {
+                    let raw = measure(
+                        Metric::MetadataAccesses,
+                        SystemConfig::figure(s),
+                        w,
+                        scale,
+                        seed,
+                    );
+                    (s, raw / lazy.max(1.0))
+                })
+                .collect();
+            (w, series)
+        })
+        .collect()
+}
+
+/// One workload's hash-latency sensitivity row (Figs. 11–12): SCUE
+/// values at {20, 40, 80, 160} cycles, normalised to the 20-cycle run.
+#[derive(Debug, Clone)]
+pub struct HashSweepRow {
+    /// The workload.
+    pub workload: Workload,
+    /// `(hash_latency, normalized_value)`, ascending latency.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Figs. 11–12: SCUE sensitivity to hash latency.
+pub fn hash_latency_sweep(
+    metric: Metric,
+    workloads: &[Workload],
+    scale: usize,
+    seed: u64,
+) -> Vec<HashSweepRow> {
+    workloads
+        .iter()
+        .map(|&w| {
+            let base = measure(
+                metric,
+                SystemConfig::figure(SchemeKind::Scue).with_hash_latency(PAPER_HASH_LATENCIES[0]),
+                w,
+                scale,
+                seed,
+            );
+            let points = PAPER_HASH_LATENCIES
+                .iter()
+                .map(|&lat| {
+                    let raw = measure(
+                        metric,
+                        SystemConfig::figure(SchemeKind::Scue).with_hash_latency(lat),
+                        w,
+                        scale,
+                        seed,
+                    );
+                    (lat, raw / base.max(1.0))
+                })
+                .collect();
+            HashSweepRow { workload: w, points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap smoke sweep: two workloads, small scale — the full-shape
+    /// assertions live in the `figure_shapes` integration test.
+    #[test]
+    fn fig9_smoke() {
+        let rows = fig9_write_latency(&[Workload::Array], 300, 1);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.baseline_raw > 0.0);
+        for (_, v) in &row.normalized {
+            assert!(*v >= 0.9, "secure schemes are never cheaper than baseline");
+        }
+    }
+
+    #[test]
+    fn hash_sweep_is_monotonic_smoke() {
+        let rows = hash_latency_sweep(Metric::WriteLatency, &[Workload::Queue], 300, 1);
+        let points = &rows[0].points;
+        assert_eq!(points.len(), 4);
+        assert!((points[0].1 - 1.0).abs() < 1e-9, "normalised to the 20-cycle run");
+        assert!(points[3].1 >= points[0].1, "160-cycle hashes cannot be cheaper");
+    }
+
+    #[test]
+    fn mean_of_averages() {
+        let rows = vec![
+            WorkloadRow {
+                workload: Workload::Array,
+                baseline_raw: 1.0,
+                normalized: vec![(SchemeKind::Scue, 1.1)],
+            },
+            WorkloadRow {
+                workload: Workload::Queue,
+                baseline_raw: 1.0,
+                normalized: vec![(SchemeKind::Scue, 1.3)],
+            },
+        ];
+        assert!((mean_of(&rows, SchemeKind::Scue) - 1.2).abs() < 1e-9);
+    }
+}

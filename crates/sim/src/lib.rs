@@ -1,0 +1,33 @@
+//! Full-system secure-NVM simulator: the reproduction's Gem5 + NVMain
+//! stand-in.
+//!
+//! Wires the substrate crates into the evaluated machine of Table II:
+//! trace-driven in-order cores → L1/L2/L3 data hierarchy
+//! ([`scue_cache`]) → secure memory controller ([`scue::SecureMemory`])
+//! → banked PCM ([`scue_nvm`]). The [`runner`] replays
+//! [`scue_workloads`] traces and reports the paper's metrics; the
+//! [`experiment`] module sweeps workloads × schemes × parameters to
+//! regenerate each figure's data series.
+//!
+//! # Quick start
+//!
+//! ```
+//! use scue::SchemeKind;
+//! use scue_sim::{System, SystemConfig};
+//! use scue_workloads::Workload;
+//!
+//! let trace = Workload::Array.generate(200, 1);
+//! let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
+//! let result = system.run_trace(&trace).unwrap();
+//! assert!(result.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod runner;
+
+pub use config::SystemConfig;
+pub use runner::{RunResult, System};

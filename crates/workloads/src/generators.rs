@@ -1,0 +1,969 @@
+//! The five persistent workloads (§V-A): real data structures on
+//! [`PmRegion`], persist-ordered like their PMDK counterparts.
+//!
+//! Each structure is functionally complete (insert/lookup behaviour is
+//! unit-tested) and issues the load/store/`clwb`/fence pattern its real
+//! implementation would — that pattern, not the computation, is what the
+//! memory system sees.
+
+use crate::pmem::PmRegion;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sentinel null pointer inside the region.
+const NIL: u64 = u64::MAX;
+
+// ----------------------------------------------------------------------
+// array
+// ----------------------------------------------------------------------
+
+/// A persistent array of u64 slots with persisted in-place updates.
+#[derive(Debug)]
+pub struct PmArray {
+    pm: PmRegion,
+    slots: usize,
+}
+
+impl PmArray {
+    /// Allocates an array with `slots` entries.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            pm: PmRegion::new("array", slots * 8),
+            slots,
+        }
+    }
+
+    /// Atomically (persist-ordered) updates slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update(&mut self, index: usize, value: u64) {
+        assert!(index < self.slots, "index {index} out of range");
+        let offset = index * 8;
+        let old = self.pm.read_u64(offset);
+        self.pm.compute(4);
+        self.pm.write_u64(offset, old.wrapping_add(value));
+        self.pm.persist(offset, 8);
+    }
+
+    /// Reads slot `index`.
+    pub fn get(&mut self, index: usize) -> u64 {
+        self.pm.read_u64(index * 8)
+    }
+
+    /// Finishes and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.pm.into_trace()
+    }
+}
+
+/// The `array` workload: random persisted updates over a 16 MB array.
+pub fn array(scale: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots = 2 * 1024 * 1024; // 16 MB
+    let mut arr = PmArray::new(slots);
+    for _ in 0..scale {
+        let index = rng.gen_range(0..slots);
+        arr.update(index, rng.gen());
+    }
+    arr.into_trace()
+}
+
+// ----------------------------------------------------------------------
+// queue
+// ----------------------------------------------------------------------
+
+/// A persistent ring-buffer queue: header line with head/tail, then
+/// 8-byte slots.
+#[derive(Debug)]
+pub struct PmQueue {
+    pm: PmRegion,
+    capacity: usize,
+}
+
+const Q_HEAD: usize = 0;
+const Q_TAIL: usize = 8;
+const Q_SLOTS: usize = 64; // slots start after the header line
+
+impl PmQueue {
+    /// Allocates a queue with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            pm: PmRegion::new("queue", Q_SLOTS + capacity * 8),
+            capacity,
+        }
+    }
+
+    fn len_internal(head: u64, tail: u64) -> u64 {
+        tail.wrapping_sub(head)
+    }
+
+    /// Enqueues `value`; returns false when full.
+    pub fn enqueue(&mut self, value: u64) -> bool {
+        let head = self.pm.read_u64(Q_HEAD);
+        let tail = self.pm.read_u64(Q_TAIL);
+        if Self::len_internal(head, tail) as usize >= self.capacity {
+            return false;
+        }
+        let slot = Q_SLOTS + (tail as usize % self.capacity) * 8;
+        self.pm.write_u64(slot, value);
+        self.pm.persist(slot, 8); // data before tail: persist ordering
+        self.pm.write_u64(Q_TAIL, tail + 1);
+        self.pm.persist(Q_TAIL, 8);
+        true
+    }
+
+    /// Dequeues the oldest value, or `None` when empty.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        let head = self.pm.read_u64(Q_HEAD);
+        let tail = self.pm.read_u64(Q_TAIL);
+        if head == tail {
+            return None;
+        }
+        let slot = Q_SLOTS + (head as usize % self.capacity) * 8;
+        let value = self.pm.read_u64(slot);
+        self.pm.write_u64(Q_HEAD, head + 1);
+        self.pm.persist(Q_HEAD, 8);
+        Some(value)
+    }
+
+    /// Current length.
+    pub fn len(&mut self) -> usize {
+        let head = self.pm.read_u64(Q_HEAD);
+        let tail = self.pm.read_u64(Q_TAIL);
+        Self::len_internal(head, tail) as usize
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.pm.into_trace()
+    }
+}
+
+/// The `queue` workload: mixed enqueue/dequeue bursts.
+pub fn queue(scale: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut q = PmQueue::new(64 * 1024);
+    for _ in 0..scale {
+        if rng.gen_bool(0.55) {
+            q.enqueue(rng.gen());
+        } else {
+            q.dequeue();
+        }
+    }
+    q.into_trace()
+}
+
+// ----------------------------------------------------------------------
+// hash
+// ----------------------------------------------------------------------
+
+/// A persistent open-addressing (linear probing) hash table of
+/// 16-byte (key, value) entries. Key 0 means empty; callers use keys >= 1.
+#[derive(Debug)]
+pub struct PmHash {
+    pm: PmRegion,
+    buckets: usize,
+}
+
+const H_COUNT: usize = 0;
+const H_TABLE: usize = 64;
+
+impl PmHash {
+    /// Allocates a table with `buckets` entries (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets.is_power_of_two(), "buckets must be a power of two");
+        Self {
+            pm: PmRegion::new("hash", H_TABLE + buckets * 16),
+            buckets,
+        }
+    }
+
+    fn slot_offset(&self, index: usize) -> usize {
+        H_TABLE + (index & (self.buckets - 1)) * 16
+    }
+
+    fn hash_key(key: u64) -> usize {
+        // Fibonacci hashing: good spread, no allocation.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13) as usize
+    }
+
+    /// Inserts (or updates) `key -> value`; returns false when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is zero (reserved for empty slots).
+    pub fn insert(&mut self, key: u64, value: u64) -> bool {
+        assert_ne!(key, 0, "key 0 is the empty marker");
+        let start = Self::hash_key(key);
+        for probe in 0..self.buckets {
+            let offset = self.slot_offset(start + probe);
+            let existing = self.pm.read_u64(offset);
+            if existing == 0 || existing == key {
+                let fresh = existing == 0;
+                self.pm.write_u64(offset, key);
+                self.pm.write_u64(offset + 8, value);
+                self.pm.persist(offset, 16);
+                if fresh {
+                    let count = self.pm.read_u64(H_COUNT);
+                    self.pm.write_u64(H_COUNT, count + 1);
+                    self.pm.persist(H_COUNT, 8);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let start = Self::hash_key(key);
+        for probe in 0..self.buckets {
+            let offset = self.slot_offset(start + probe);
+            let existing = self.pm.read_u64(offset);
+            if existing == key {
+                return Some(self.pm.read_u64(offset + 8));
+            }
+            if existing == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Number of live entries.
+    pub fn len(&mut self) -> usize {
+        self.pm.read_u64(H_COUNT) as usize
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finishes and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.pm.into_trace()
+    }
+}
+
+/// The `hash` workload: inserts and lookups, 2:1, over a 32 MB table.
+pub fn hash(scale: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = PmHash::new(2 * 1024 * 1024);
+    let mut inserted: Vec<u64> = Vec::new();
+    for _ in 0..scale {
+        if inserted.is_empty() || rng.gen_bool(0.66) {
+            let key = rng.gen_range(1..u64::MAX);
+            table.insert(key, key ^ 0xFF);
+            inserted.push(key);
+        } else {
+            let key = inserted[rng.gen_range(0..inserted.len())];
+            table.get(key);
+        }
+    }
+    table.into_trace()
+}
+
+// ----------------------------------------------------------------------
+// btree (B+tree, order 8)
+// ----------------------------------------------------------------------
+
+/// A persistent B+tree with 7 keys per node and leaf-level values.
+///
+/// Node layout (128 B = 2 lines): meta (count, leaf flag) @0, keys @8
+/// (7 × 8 B), slots @64 (children for internal nodes, values for
+/// leaves; `slots[7]` of a leaf is the next-leaf pointer).
+#[derive(Debug)]
+pub struct PmBtree {
+    pm: PmRegion,
+    root: u64,
+    next_free: u64,
+    capacity: u64,
+}
+
+const BT_NODE_BYTES: u64 = 128;
+const BT_MAX_KEYS: usize = 7;
+
+impl PmBtree {
+    /// Allocates a tree with room for `max_nodes` nodes.
+    pub fn new(max_nodes: u64) -> Self {
+        let mut pm = PmRegion::new("btree", (max_nodes * BT_NODE_BYTES) as usize);
+        // Root starts as an empty leaf at offset 0.
+        pm.write_u64(0, Self::meta(0, true));
+        pm.write_u64(64 + 56, NIL); // next-leaf pointer
+        pm.persist(0, BT_NODE_BYTES as usize);
+        Self {
+            pm,
+            root: 0,
+            next_free: BT_NODE_BYTES,
+            capacity: max_nodes * BT_NODE_BYTES,
+        }
+    }
+
+    fn meta(count: u64, leaf: bool) -> u64 {
+        count | ((leaf as u64) << 32)
+    }
+
+    fn read_meta(&mut self, node: u64) -> (usize, bool) {
+        let m = self.pm.read_u64(node as usize);
+        ((m & 0xFFFF_FFFF) as usize, (m >> 32) & 1 == 1)
+    }
+
+    fn write_meta(&mut self, node: u64, count: usize, leaf: bool) {
+        self.pm.write_u64(node as usize, Self::meta(count as u64, leaf));
+    }
+
+    fn key_at(&mut self, node: u64, i: usize) -> u64 {
+        self.pm.read_u64(node as usize + 8 + i * 8)
+    }
+
+    fn set_key(&mut self, node: u64, i: usize, key: u64) {
+        self.pm.write_u64(node as usize + 8 + i * 8, key);
+    }
+
+    fn slot_at(&mut self, node: u64, i: usize) -> u64 {
+        self.pm.read_u64(node as usize + 64 + i * 8)
+    }
+
+    fn set_slot(&mut self, node: u64, i: usize, value: u64) {
+        self.pm.write_u64(node as usize + 64 + i * 8, value);
+    }
+
+    fn alloc_node(&mut self, leaf: bool) -> u64 {
+        let node = self.next_free;
+        assert!(
+            node + BT_NODE_BYTES <= self.capacity,
+            "btree region exhausted"
+        );
+        self.next_free += BT_NODE_BYTES;
+        self.write_meta(node, 0, leaf);
+        if leaf {
+            self.set_slot(node, 7, NIL);
+        }
+        node
+    }
+
+    fn persist_node(&mut self, node: u64) {
+        self.pm.persist(node as usize, BT_NODE_BYTES as usize);
+    }
+
+    /// Inserts `key -> value` (keys must not be `u64::MAX`).
+    pub fn insert(&mut self, key: u64, value: u64) {
+        assert_ne!(key, NIL, "NIL key is reserved");
+        // Split-on-the-way-down insertion.
+        let (count, _) = self.read_meta(self.root);
+        if count == BT_MAX_KEYS {
+            let old_root = self.root;
+            let new_root = self.alloc_node(false);
+            self.set_slot(new_root, 0, old_root);
+            self.split_child(new_root, 0);
+            self.persist_node(new_root);
+            self.root = new_root;
+        }
+        self.insert_nonfull(self.root, key, value);
+    }
+
+    fn split_child(&mut self, parent: u64, child_idx: usize) {
+        let child = self.slot_at(parent, child_idx);
+        let (ccount, cleaf) = self.read_meta(child);
+        debug_assert_eq!(ccount, BT_MAX_KEYS);
+        let sibling = self.alloc_node(cleaf);
+        let mid = BT_MAX_KEYS / 2; // 3
+        let (keep, move_count, sep_key) = if cleaf {
+            // Leaves keep the separator (B+tree): left keeps mid+1 keys.
+            (mid + 1, BT_MAX_KEYS - (mid + 1), self.key_at(child, mid + 1))
+        } else {
+            (mid, BT_MAX_KEYS - mid - 1, self.key_at(child, mid))
+        };
+        // Move the upper keys/slots to the sibling.
+        let src_base = if cleaf { keep } else { mid + 1 };
+        for i in 0..move_count {
+            let k = self.key_at(child, src_base + i);
+            self.set_key(sibling, i, k);
+            let v = self.slot_at(child, src_base + i);
+            self.set_slot(sibling, i, v);
+        }
+        if !cleaf {
+            let v = self.slot_at(child, BT_MAX_KEYS);
+            self.set_slot(sibling, move_count, v);
+        } else {
+            // Link the leaf chain.
+            let next = self.slot_at(child, 7);
+            self.set_slot(sibling, 7, next);
+            self.set_slot(child, 7, sibling);
+        }
+        self.write_meta(sibling, move_count, cleaf);
+        self.write_meta(child, keep, cleaf);
+        // Shift the parent's keys/slots right and insert the separator.
+        let (pcount, _) = self.read_meta(parent);
+        for i in (child_idx..pcount).rev() {
+            let k = self.key_at(parent, i);
+            self.set_key(parent, i + 1, k);
+        }
+        for i in (child_idx + 1..=pcount).rev() {
+            let v = self.slot_at(parent, i);
+            self.set_slot(parent, i + 1, v);
+        }
+        self.set_key(parent, child_idx, sep_key);
+        self.set_slot(parent, child_idx + 1, sibling);
+        self.write_meta(parent, pcount + 1, false);
+        self.persist_node(sibling);
+        self.persist_node(child);
+        self.persist_node(parent);
+    }
+
+    fn insert_nonfull(&mut self, node: u64, key: u64, value: u64) {
+        let (count, leaf) = self.read_meta(node);
+        if leaf {
+            // Update in place if the key exists.
+            for i in 0..count {
+                if self.key_at(node, i) == key {
+                    self.set_slot(node, i, value);
+                    self.persist_node(node);
+                    return;
+                }
+            }
+            let mut i = count;
+            while i > 0 && self.key_at(node, i - 1) > key {
+                let k = self.key_at(node, i - 1);
+                self.set_key(node, i, k);
+                let v = self.slot_at(node, i - 1);
+                self.set_slot(node, i, v);
+                i -= 1;
+            }
+            self.set_key(node, i, key);
+            self.set_slot(node, i, value);
+            self.write_meta(node, count + 1, true);
+            self.persist_node(node);
+        } else {
+            let mut i = 0;
+            while i < count && key >= self.key_at(node, i) {
+                i += 1;
+            }
+            let child = self.slot_at(node, i);
+            let (ccount, _) = self.read_meta(child);
+            if ccount == BT_MAX_KEYS {
+                self.split_child(node, i);
+                if key >= self.key_at(node, i) {
+                    i += 1;
+                }
+            }
+            let child = self.slot_at(node, i);
+            self.insert_nonfull(child, key, value);
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let mut node = self.root;
+        loop {
+            let (count, leaf) = self.read_meta(node);
+            if leaf {
+                for i in 0..count {
+                    if self.key_at(node, i) == key {
+                        return Some(self.slot_at(node, i));
+                    }
+                }
+                return None;
+            }
+            let mut i = 0;
+            while i < count && key >= self.key_at(node, i) {
+                i += 1;
+            }
+            node = self.slot_at(node, i);
+        }
+    }
+
+    /// All keys in order via the leaf chain (test support).
+    pub fn keys_in_order(&mut self) -> Vec<u64> {
+        // Descend to the leftmost leaf.
+        let mut node = self.root;
+        loop {
+            let (_, leaf) = self.read_meta(node);
+            if leaf {
+                break;
+            }
+            node = self.slot_at(node, 0);
+        }
+        let mut keys = Vec::new();
+        loop {
+            let (count, _) = self.read_meta(node);
+            for i in 0..count {
+                keys.push(self.key_at(node, i));
+            }
+            let next = self.slot_at(node, 7);
+            if next == NIL {
+                break;
+            }
+            node = next;
+        }
+        keys
+    }
+
+    /// Finishes and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.pm.into_trace()
+    }
+}
+
+/// The `btree` workload: random inserts with occasional lookups.
+pub fn btree(scale: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = PmBtree::new(4 * scale as u64 + 64);
+    let mut inserted: Vec<u64> = Vec::new();
+    for _ in 0..scale {
+        if inserted.is_empty() || rng.gen_bool(0.75) {
+            let key = rng.gen_range(1..NIL);
+            tree.insert(key, key ^ 0xAA);
+            inserted.push(key);
+        } else {
+            let key = inserted[rng.gen_range(0..inserted.len())];
+            tree.get(key);
+        }
+    }
+    tree.into_trace()
+}
+
+// ----------------------------------------------------------------------
+// rbtree
+// ----------------------------------------------------------------------
+
+/// A persistent red-black tree with one 64 B line per node.
+///
+/// Node layout: key @0, value @8, left @16, right @24, parent @32,
+/// color @40 (0 = black, 1 = red).
+#[derive(Debug)]
+pub struct PmRbtree {
+    pm: PmRegion,
+    root: u64,
+    next_free: u64,
+    capacity: u64,
+}
+
+const RB_NODE_BYTES: u64 = 64;
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+impl PmRbtree {
+    /// Allocates a tree with room for `max_nodes` nodes.
+    pub fn new(max_nodes: u64) -> Self {
+        Self {
+            pm: PmRegion::new("rbtree", (max_nodes * RB_NODE_BYTES) as usize),
+            root: NIL,
+            next_free: 0,
+            capacity: max_nodes * RB_NODE_BYTES,
+        }
+    }
+
+    fn field(&mut self, node: u64, off: usize) -> u64 {
+        self.pm.read_u64(node as usize + off)
+    }
+
+    fn set_field(&mut self, node: u64, off: usize, value: u64) {
+        self.pm.write_u64(node as usize + off, value);
+    }
+
+    fn key(&mut self, n: u64) -> u64 {
+        self.field(n, 0)
+    }
+    fn left(&mut self, n: u64) -> u64 {
+        self.field(n, 16)
+    }
+    fn right(&mut self, n: u64) -> u64 {
+        self.field(n, 24)
+    }
+    fn parent(&mut self, n: u64) -> u64 {
+        self.field(n, 32)
+    }
+    fn color(&mut self, n: u64) -> u64 {
+        if n == NIL {
+            BLACK
+        } else {
+            self.field(n, 40)
+        }
+    }
+
+    fn persist_node(&mut self, node: u64) {
+        if node != NIL {
+            self.pm.persist(node as usize, RB_NODE_BYTES as usize);
+        }
+    }
+
+    fn rotate_left(&mut self, x: u64) {
+        let y = self.right(x);
+        let yl = self.left(y);
+        self.set_field(x, 24, yl);
+        if yl != NIL {
+            self.set_field(yl, 32, x);
+        }
+        let xp = self.parent(x);
+        self.set_field(y, 32, xp);
+        if xp == NIL {
+            self.root = y;
+        } else if self.left(xp) == x {
+            self.set_field(xp, 16, y);
+        } else {
+            self.set_field(xp, 24, y);
+        }
+        self.set_field(y, 16, x);
+        self.set_field(x, 32, y);
+        self.persist_node(x);
+        self.persist_node(y);
+        self.persist_node(xp);
+    }
+
+    fn rotate_right(&mut self, x: u64) {
+        let y = self.left(x);
+        let yr = self.right(y);
+        self.set_field(x, 16, yr);
+        if yr != NIL {
+            self.set_field(yr, 32, x);
+        }
+        let xp = self.parent(x);
+        self.set_field(y, 32, xp);
+        if xp == NIL {
+            self.root = y;
+        } else if self.right(xp) == x {
+            self.set_field(xp, 24, y);
+        } else {
+            self.set_field(xp, 16, y);
+        }
+        self.set_field(y, 24, x);
+        self.set_field(x, 32, y);
+        self.persist_node(x);
+        self.persist_node(y);
+        self.persist_node(xp);
+    }
+
+    /// Inserts `key -> value` (key `u64::MAX` reserved).
+    pub fn insert(&mut self, key: u64, value: u64) {
+        assert_ne!(key, NIL, "NIL key is reserved");
+        // Standard BST descent.
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            let ck = self.key(cur);
+            if key == ck {
+                self.set_field(cur, 8, value);
+                self.persist_node(cur);
+                return;
+            }
+            cur = if key < ck { self.left(cur) } else { self.right(cur) };
+        }
+        let node = self.next_free;
+        assert!(node + RB_NODE_BYTES <= self.capacity, "rbtree region exhausted");
+        self.next_free += RB_NODE_BYTES;
+        self.set_field(node, 0, key);
+        self.set_field(node, 8, value);
+        self.set_field(node, 16, NIL);
+        self.set_field(node, 24, NIL);
+        self.set_field(node, 32, parent);
+        self.set_field(node, 40, RED);
+        self.persist_node(node);
+        if parent == NIL {
+            self.root = node;
+        } else if key < self.key(parent) {
+            self.set_field(parent, 16, node);
+            self.persist_node(parent);
+        } else {
+            self.set_field(parent, 24, node);
+            self.persist_node(parent);
+        }
+        self.fixup(node);
+    }
+
+    fn fixup(&mut self, mut z: u64) {
+        loop {
+            let zp0 = self.parent(z);
+            if zp0 == NIL || self.color(zp0) != RED {
+                break;
+            }
+            let zp = self.parent(z);
+            let zpp = self.parent(zp);
+            if zpp == NIL {
+                break;
+            }
+            if zp == self.left(zpp) {
+                let uncle = self.right(zpp);
+                if self.color(uncle) == RED {
+                    self.set_field(zp, 40, BLACK);
+                    self.set_field(uncle, 40, BLACK);
+                    self.set_field(zpp, 40, RED);
+                    self.persist_node(zp);
+                    self.persist_node(uncle);
+                    self.persist_node(zpp);
+                    z = zpp;
+                } else {
+                    if z == self.right(zp) {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.parent(z);
+                    let zpp = self.parent(zp);
+                    self.set_field(zp, 40, BLACK);
+                    self.set_field(zpp, 40, RED);
+                    self.persist_node(zp);
+                    self.persist_node(zpp);
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let uncle = self.left(zpp);
+                if self.color(uncle) == RED {
+                    self.set_field(zp, 40, BLACK);
+                    self.set_field(uncle, 40, BLACK);
+                    self.set_field(zpp, 40, RED);
+                    self.persist_node(zp);
+                    self.persist_node(uncle);
+                    self.persist_node(zpp);
+                    z = zpp;
+                } else {
+                    if z == self.left(zp) {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.parent(z);
+                    let zpp = self.parent(zp);
+                    self.set_field(zp, 40, BLACK);
+                    self.set_field(zpp, 40, RED);
+                    self.persist_node(zp);
+                    self.persist_node(zpp);
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let root = self.root;
+        if self.color(root) == RED {
+            self.set_field(root, 40, BLACK);
+            self.persist_node(root);
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let mut cur = self.root;
+        while cur != NIL {
+            let ck = self.key(cur);
+            if key == ck {
+                return Some(self.field(cur, 8));
+            }
+            cur = if key < ck { self.left(cur) } else { self.right(cur) };
+        }
+        None
+    }
+
+    /// In-order keys (test support).
+    pub fn keys_in_order(&mut self) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.left(cur);
+            }
+            let node = stack.pop().expect("non-empty");
+            keys.push(self.key(node));
+            cur = self.right(node);
+        }
+        keys
+    }
+
+    /// Black-height consistency check (test support): returns the black
+    /// height if every path agrees, `None` otherwise.
+    pub fn black_height(&mut self) -> Option<u32> {
+        fn walk(t: &mut PmRbtree, node: u64) -> Option<u32> {
+            if node == NIL {
+                return Some(1);
+            }
+            let left = t.left(node);
+            let l = walk(t, left)?;
+            let right = t.right(node);
+            let r = walk(t, right)?;
+            if l != r {
+                return None;
+            }
+            // Red nodes must have black children.
+            if t.color(node) == RED {
+                let lc = t.left(node);
+                let rc = t.right(node);
+                if t.color(lc) == RED || t.color(rc) == RED {
+                    return None;
+                }
+            }
+            Some(l + if t.color(node) == BLACK { 1 } else { 0 })
+        }
+        let root = self.root;
+        walk(self, root)
+    }
+
+    /// Finishes and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.pm.into_trace()
+    }
+}
+
+/// The `rbtree` workload: random inserts with occasional lookups.
+pub fn rbtree(scale: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = PmRbtree::new(scale as u64 + 64);
+    let mut inserted: Vec<u64> = Vec::new();
+    for _ in 0..scale {
+        if inserted.is_empty() || rng.gen_bool(0.7) {
+            let key = rng.gen_range(1..NIL);
+            tree.insert(key, key ^ 0x55);
+            inserted.push(key);
+        } else {
+            let key = inserted[rng.gen_range(0..inserted.len())];
+            tree.get(key);
+        }
+    }
+    tree.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_updates_accumulate() {
+        let mut arr = PmArray::new(16);
+        arr.update(3, 10);
+        arr.update(3, 5);
+        assert_eq!(arr.get(3), 15);
+        assert_eq!(arr.get(4), 0);
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut q = PmQueue::new(4);
+        assert!(q.is_empty());
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let mut q = PmQueue::new(2);
+        assert!(q.enqueue(1));
+        assert!(q.enqueue(2));
+        assert!(!q.enqueue(3));
+        q.dequeue();
+        assert!(q.enqueue(3));
+    }
+
+    #[test]
+    fn hash_insert_get() {
+        let mut h = PmHash::new(64);
+        for key in 1..=40u64 {
+            assert!(h.insert(key, key * 2));
+        }
+        for key in 1..=40u64 {
+            assert_eq!(h.get(key), Some(key * 2), "key {key}");
+        }
+        assert_eq!(h.get(99), None);
+        assert_eq!(h.len(), 40);
+    }
+
+    #[test]
+    fn hash_update_does_not_grow() {
+        let mut h = PmHash::new(16);
+        h.insert(5, 1);
+        h.insert(5, 2);
+        assert_eq!(h.get(5), Some(2));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn btree_sorted_inserts() {
+        let mut t = PmBtree::new(256);
+        for key in 1..=100u64 {
+            t.insert(key, key + 1000);
+        }
+        for key in 1..=100u64 {
+            assert_eq!(t.get(key), Some(key + 1000), "key {key}");
+        }
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.keys_in_order(), (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn btree_random_inserts_stay_ordered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = PmBtree::new(2048);
+        let mut keys: Vec<u64> = (0..400).map(|_| rng.gen_range(1..1_000_000)).collect();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(t.keys_in_order(), keys);
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn btree_updates_in_place() {
+        let mut t = PmBtree::new(64);
+        t.insert(7, 1);
+        t.insert(7, 2);
+        assert_eq!(t.get(7), Some(2));
+        assert_eq!(t.keys_in_order(), vec![7]);
+    }
+
+    #[test]
+    fn rbtree_sorted_and_balanced() {
+        let mut t = PmRbtree::new(1024);
+        for key in (1..=300u64).rev() {
+            t.insert(key, key);
+        }
+        assert_eq!(t.keys_in_order(), (1..=300).collect::<Vec<_>>());
+        assert!(t.black_height().is_some(), "red-black invariants violated");
+        for key in 1..=300u64 {
+            assert_eq!(t.get(key), Some(key));
+        }
+    }
+
+    #[test]
+    fn rbtree_random_inserts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = PmRbtree::new(2048);
+        let mut keys: Vec<u64> = (0..500).map(|_| rng.gen_range(1..1_000_000)).collect();
+        for &k in &keys {
+            t.insert(k, k ^ 1);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(t.keys_in_order(), keys);
+        assert!(t.black_height().is_some());
+    }
+
+    #[test]
+    fn traces_contain_persist_ordering() {
+        let t = queue(100, 1);
+        let stats = t.stats();
+        assert!(stats.persists >= stats.fences);
+        assert!(stats.fences > 0);
+    }
+}

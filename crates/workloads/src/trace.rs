@@ -1,0 +1,158 @@
+//! The persist-annotated memory-trace format.
+//!
+//! Traces are the interface between workloads and the simulator: a flat
+//! sequence of line-granular memory operations plus persist-ordering
+//! primitives (`clwb` + `sfence`), as emitted by persistent-memory code
+//! on x86.
+
+use scue_nvm::LineAddr;
+
+/// One trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Read one line.
+    Load(LineAddr),
+    /// Write one line (content is synthesised deterministically by the
+    /// runner from the address and store sequence number).
+    Store(LineAddr),
+    /// `clwb`: write the line back to the persistence domain without
+    /// evicting it.
+    Persist(LineAddr),
+    /// `sfence`: block until every outstanding persist completes.
+    Fence,
+    /// `n` non-memory instructions (1 cycle each at IPC 1).
+    Compute(u32),
+}
+
+/// Aggregate trace statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Load operations.
+    pub loads: u64,
+    /// Store operations.
+    pub stores: u64,
+    /// Persist (`clwb`) operations.
+    pub persists: u64,
+    /// Fences.
+    pub fences: u64,
+    /// Non-memory instructions.
+    pub compute: u64,
+    /// Distinct lines touched.
+    pub footprint_lines: u64,
+}
+
+impl TraceStats {
+    /// Fraction of instructions that access memory.
+    pub fn memory_fraction(&self) -> f64 {
+        let mem = self.loads + self.stores;
+        let total = mem + self.compute;
+        if total == 0 {
+            0.0
+        } else {
+            mem as f64 / total as f64
+        }
+    }
+
+    /// Stores as a fraction of memory operations.
+    pub fn write_fraction(&self) -> f64 {
+        let mem = self.loads + self.stores;
+        if mem == 0 {
+            0.0
+        } else {
+            self.stores as f64 / mem as f64
+        }
+    }
+}
+
+/// A named, replayable memory trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Workload name (figure label).
+    pub name: String,
+    /// The operations, in program order.
+    pub ops: Vec<MemOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Computes aggregate statistics in one pass.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut lines = std::collections::HashSet::new();
+        for op in &self.ops {
+            match op {
+                MemOp::Load(a) => {
+                    stats.loads += 1;
+                    lines.insert(*a);
+                }
+                MemOp::Store(a) => {
+                    stats.stores += 1;
+                    lines.insert(*a);
+                }
+                MemOp::Persist(_) => stats.persists += 1,
+                MemOp::Fence => stats.fences += 1,
+                MemOp::Compute(n) => stats.compute += *n as u64,
+            }
+        }
+        stats.footprint_lines = lines.len() as u64;
+        stats
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_each_kind() {
+        let mut t = Trace::new("t");
+        t.ops.push(MemOp::Load(LineAddr::new(0)));
+        t.ops.push(MemOp::Store(LineAddr::new(1)));
+        t.ops.push(MemOp::Store(LineAddr::new(1)));
+        t.ops.push(MemOp::Persist(LineAddr::new(1)));
+        t.ops.push(MemOp::Fence);
+        t.ops.push(MemOp::Compute(5));
+        let s = t.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.persists, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.compute, 5);
+        assert_eq!(s.footprint_lines, 2);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut t = Trace::new("t");
+        t.ops.push(MemOp::Load(LineAddr::new(0)));
+        t.ops.push(MemOp::Store(LineAddr::new(1)));
+        t.ops.push(MemOp::Compute(2));
+        let s = t.stats();
+        assert!((s.memory_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.write_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.stats().memory_fraction(), 0.0);
+    }
+}

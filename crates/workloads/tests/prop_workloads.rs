@@ -1,0 +1,127 @@
+//! Property tests: the persistent data structures behave exactly like
+//! their std reference models for arbitrary operation sequences, and the
+//! traces they record stay well-formed.
+
+use proptest::prelude::*;
+use scue_workloads::generators::{PmBtree, PmHash, PmQueue, PmRbtree};
+use scue_workloads::{MemOp, Workload};
+use std::collections::{BTreeMap, VecDeque};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// B+tree == BTreeMap for arbitrary insert/update/lookup sequences.
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec((1u64..500, any::<u64>()), 1..150)) {
+        let mut tree = PmBtree::new(4096);
+        let mut reference = BTreeMap::new();
+        for (key, value) in ops {
+            tree.insert(key, value);
+            reference.insert(key, value);
+        }
+        for (&key, &value) in &reference {
+            prop_assert_eq!(tree.get(key), Some(value));
+        }
+        let keys: Vec<u64> = reference.keys().copied().collect();
+        prop_assert_eq!(tree.keys_in_order(), keys);
+    }
+
+    /// Red-black tree == BTreeMap, and the colour invariants hold after
+    /// every batch.
+    #[test]
+    fn rbtree_matches_btreemap(ops in proptest::collection::vec((1u64..500, any::<u64>()), 1..150)) {
+        let mut tree = PmRbtree::new(4096);
+        let mut reference = BTreeMap::new();
+        for (key, value) in ops {
+            tree.insert(key, value);
+            reference.insert(key, value);
+        }
+        prop_assert!(tree.black_height().is_some(), "red-black invariants violated");
+        for (&key, &value) in &reference {
+            prop_assert_eq!(tree.get(key), Some(value));
+        }
+        let keys: Vec<u64> = reference.keys().copied().collect();
+        prop_assert_eq!(tree.keys_in_order(), keys);
+    }
+
+    /// Ring-buffer queue == VecDeque under mixed enqueue/dequeue.
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec(proptest::option::of(any::<u64>()), 1..200)) {
+        let mut queue = PmQueue::new(32);
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(value) => {
+                    let accepted = queue.enqueue(value);
+                    prop_assert_eq!(accepted, reference.len() < 32);
+                    if accepted {
+                        reference.push_back(value);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(queue.dequeue(), reference.pop_front());
+                }
+            }
+            prop_assert_eq!(queue.len(), reference.len());
+        }
+    }
+
+    /// Hash table == BTreeMap (no key is ever lost or aliased).
+    #[test]
+    fn hash_matches_map(ops in proptest::collection::vec((1u64..10_000, any::<u64>()), 1..200)) {
+        let mut table = PmHash::new(1024);
+        let mut reference = BTreeMap::new();
+        for (key, value) in ops {
+            prop_assert!(table.insert(key, value));
+            reference.insert(key, value);
+        }
+        prop_assert_eq!(table.len(), reference.len());
+        for (&key, &value) in &reference {
+            prop_assert_eq!(table.get(key), Some(value));
+        }
+        prop_assert_eq!(table.get(10_001), None);
+    }
+
+    /// Generated traces are well-formed: every persist is eventually
+    /// fenced, and no op addresses a line outside the region the
+    /// structure allocated.
+    #[test]
+    fn traces_are_well_formed(scale in 50usize..400, seed in any::<u64>()) {
+        for workload in Workload::PERSISTENT {
+            let trace = workload.generate(scale, seed);
+            let mut pending_persists = 0u64;
+            let mut max_line = 0u64;
+            for op in &trace.ops {
+                match op {
+                    MemOp::Persist(a) => {
+                        pending_persists += 1;
+                        max_line = max_line.max(a.raw());
+                    }
+                    MemOp::Fence => pending_persists = 0,
+                    MemOp::Load(a) | MemOp::Store(a) => max_line = max_line.max(a.raw()),
+                    MemOp::Compute(_) => {}
+                }
+            }
+            prop_assert_eq!(pending_persists, 0, "{}: unfenced persists at end", workload);
+            prop_assert!(max_line < 1 << 22, "{}: footprint out of range", workload);
+        }
+    }
+
+    /// SPEC generators respect their declared footprint and write mix for
+    /// arbitrary seeds.
+    #[test]
+    fn spec_respects_profile(seed in any::<u64>()) {
+        for app in Workload::SPEC {
+            let profile = scue_workloads::spec::profile(app);
+            let trace = scue_workloads::spec::generate(app, 4_000, seed);
+            let stats = trace.stats();
+            let target = profile.write_pct as f64 / 100.0;
+            prop_assert!((stats.write_fraction() - target).abs() < 0.05, "{app}");
+            for op in &trace.ops {
+                if let MemOp::Load(a) | MemOp::Store(a) = op {
+                    prop_assert!(a.raw() < profile.footprint_lines, "{app}");
+                }
+            }
+        }
+    }
+}

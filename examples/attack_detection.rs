@@ -1,0 +1,71 @@
+//! Table I, live: inject roll-forward, roll-back, replay and combined
+//! attacks against the crashed NVM image and watch counter-summing
+//! recovery report each one.
+//!
+//! ```text
+//! cargo run --release -p scue-sim --example attack_detection
+//! ```
+
+use scue::attack;
+use scue::{RecoveryOutcome, SchemeKind, SecureMemConfig, SecureMemory};
+use scue_nvm::LineAddr;
+
+/// Builds a machine with history and a pre-recorded replay capsule.
+fn victim() -> (SecureMemory, attack::ReplayCapsule) {
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+    let mut now = 0;
+    for round in 1..=2u64 {
+        for leaf in 0..8u64 {
+            now = mem
+                .persist_data(LineAddr::new(leaf * 64), [round as u8; 64], now)
+                .expect("no attacks yet");
+        }
+    }
+    // The adversary snoops the bus and records leaf 0's (line, MAC) tuple…
+    let capsule = attack::record_leaf(&mem, 0);
+    // …then the system overwrites it once more before the crash.
+    now = mem
+        .persist_data(LineAddr::new(0), [9u8; 64], now)
+        .expect("no attacks yet");
+    mem.crash(now);
+    (mem, capsule)
+}
+
+fn describe(outcome: RecoveryOutcome) -> String {
+    match outcome {
+        RecoveryOutcome::Clean => "no attack detected (clean)".into(),
+        RecoveryOutcome::Unverified => "no verification capability".into(),
+        RecoveryOutcome::LeafMacMismatch { leaf } => {
+            format!("DETECTED by leaf HMAC (leaf {leaf})")
+        }
+        RecoveryOutcome::RootMismatch => "DETECTED by Recovery_root sum".into(),
+    }
+}
+
+fn main() {
+    println!("Table I — attacks on the crashed image, SCUE recovery verdicts\n");
+
+    let (mut mem, _) = victim();
+    println!("no attack:            {}", describe(mem.recover().outcome));
+
+    let (mut mem, _) = victim();
+    attack::roll_forward_leaf(&mut mem, 2, 3);
+    println!("roll-forward:         {}", describe(mem.recover().outcome));
+
+    let (mut mem, capsule) = victim();
+    attack::roll_back_leaf(&mut mem, &capsule);
+    println!("roll-back (no MAC):   {}", describe(mem.recover().outcome));
+
+    let (mut mem, capsule) = victim();
+    attack::replay_leaf(&mut mem, &capsule);
+    println!("replay (old tuple):   {}", describe(mem.recover().outcome));
+
+    let (mut mem, capsule) = victim();
+    attack::roll_back_and_forward(&mut mem, &capsule, 3, 1);
+    println!("roll-back + forward:  {}", describe(mem.recover().outcome));
+
+    println!();
+    println!("exactly the paper's matrix: HMACs catch anything that cannot");
+    println!("carry a valid MAC; the instantaneously-updated Recovery_root");
+    println!("catches the one attack that can — a self-consistent replay.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: protect a workload with SCUE, crash the machine at an
+//! arbitrary instant, recover, and keep going.
+//!
+//! ```text
+//! cargo run --release -p scue-sim --example quickstart
+//! ```
+
+use scue::{RecoveryOutcome, SchemeKind};
+use scue_sim::{System, SystemConfig};
+use scue_workloads::Workload;
+
+fn main() {
+    // A Table II machine (16 GB PCM, 9-level SIT, 256 KB metadata cache)
+    // running the SCUE update scheme.
+    let mut system = System::new(SystemConfig::figure(SchemeKind::Scue));
+
+    // Run a persistent B-tree workload: real inserts, real clwb/sfence
+    // ordering, every persisted line encrypted and MAC'd.
+    let trace = Workload::Btree.generate(20_000, 42);
+    println!("replaying {} trace ops ...", trace.len());
+    let consumed = system.run_until(&trace, 5_000_000).expect("no attacks");
+    println!(
+        "  {} ops in, at cycle {} — pulling the plug NOW",
+        consumed,
+        system.now()
+    );
+
+    // Power failure. No propagation had to finish: the Recovery_root was
+    // updated in the same instant as every leaf persist.
+    system.crash();
+    let report = system.engine_mut().recover();
+    assert_eq!(report.outcome, RecoveryOutcome::Clean);
+    println!(
+        "  recovered: {} leaves checked, {} metadata fetches, modelled {:.3} ms",
+        report.leaves_checked,
+        report.metadata_fetches,
+        report.modelled_ns as f64 / 1e6
+    );
+
+    // The machine resumes as if nothing happened.
+    let trace2 = Workload::Hash.generate(5_000, 43);
+    let result = system.run_trace(&trace2).expect("no attacks");
+    println!(
+        "  resumed: {} more ops, mean write latency {:.0} cycles, {} HMACs computed",
+        result.ops,
+        result.mean_write_latency(),
+        result.engine.hashes
+    );
+    println!("done: root crash consistency without a crash window.");
+}

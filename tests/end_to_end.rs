@@ -1,0 +1,116 @@
+//! End-to-end integration: every scheme × every workload family runs the
+//! full stack (trace → caches → secure MC → PCM) and behaves.
+
+use scue::{RecoveryOutcome, SchemeKind};
+use scue_sim::{System, SystemConfig};
+use scue_workloads::Workload;
+
+/// Every scheme completes every workload without integrity errors and
+/// produces sane metrics.
+#[test]
+fn full_matrix_runs_clean() {
+    for scheme in SchemeKind::ALL {
+        for workload in Workload::ALL {
+            let trace = workload.generate(800, 11);
+            let mut system = System::new(SystemConfig::fast(scheme));
+            let result = system
+                .run_trace(&trace)
+                .unwrap_or_else(|e| panic!("{scheme}/{workload}: {e}"));
+            assert!(result.cycles > 0, "{scheme}/{workload}");
+            assert!(result.engine.mem.total() > 0, "{scheme}/{workload}");
+        }
+    }
+}
+
+/// Secure schemes do strictly more work than Baseline on the same trace.
+#[test]
+fn security_costs_cycles() {
+    let trace = Workload::Rbtree.generate(2_000, 5);
+    let mut base = System::new(SystemConfig::fast(SchemeKind::Baseline));
+    let base_cycles = base.run_trace(&trace).unwrap().cycles;
+    for scheme in [SchemeKind::Lazy, SchemeKind::Plp, SchemeKind::Scue] {
+        let mut sys = System::new(SystemConfig::fast(scheme));
+        let cycles = sys.run_trace(&trace).unwrap().cycles;
+        assert!(
+            cycles >= base_cycles,
+            "{scheme}: {cycles} < baseline {base_cycles}"
+        );
+    }
+}
+
+/// Hash counts scale with security: Baseline computes none.
+#[test]
+fn baseline_computes_no_hashes() {
+    let trace = Workload::Array.generate(500, 3);
+    let mut sys = System::new(SystemConfig::fast(SchemeKind::Baseline));
+    let r = sys.run_trace(&trace).unwrap();
+    assert_eq!(r.engine.hashes, 0);
+
+    let mut sys = System::new(SystemConfig::fast(SchemeKind::Scue));
+    let r = sys.run_trace(&trace).unwrap();
+    assert!(r.engine.hashes > 0);
+}
+
+/// The full lifecycle: run, crash, recover, resume, run again, verify
+/// reads — on the paper's 16 GB geometry.
+#[test]
+fn lifecycle_on_paper_geometry() {
+    let trace = Workload::Btree.generate(1_500, 9);
+    let mut system = System::new(SystemConfig::figure(SchemeKind::Scue));
+    system.run_until(&trace, 2_000_000).unwrap();
+    system.crash();
+    let report = system.engine_mut().recover();
+    assert_eq!(report.outcome, RecoveryOutcome::Clean);
+    assert!(report.leaves_checked > 0);
+
+    // Resume with a fresh workload phase.
+    let trace2 = Workload::Hash.generate(500, 10);
+    let result = system.run_trace(&trace2).unwrap();
+    assert!(result.cycles > 0);
+}
+
+/// Multi-core hierarchy sharing: the same trace on a multi-core config
+/// still runs and the shared L3 serves cross-core reuse.
+#[test]
+fn multicore_configuration_runs() {
+    let trace = Workload::Omnetpp.generate(1_000, 2);
+    let mut system = System::new(SystemConfig::fast(SchemeKind::Scue).with_cores(8));
+    let result = system.run_trace(&trace).unwrap();
+    assert!(result.cycles > 0);
+}
+
+/// SPEC workloads exercise the read-verification path: metadata reads
+/// occur even though SPEC traces never fence.
+#[test]
+fn spec_reads_verify_through_metadata() {
+    let trace = Workload::Mcf.generate(3_000, 4);
+    let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
+    let r = system.run_trace(&trace).unwrap();
+    assert!(r.engine.mem.meta_reads > 0, "read path must fetch metadata");
+    assert!(r.engine.read_latency.count > 0);
+}
+
+/// Determinism: identical configuration and trace give identical cycle
+/// counts and stats.
+#[test]
+fn simulation_is_deterministic() {
+    let trace = Workload::Gcc.generate(1_000, 8);
+    let run = |_| {
+        let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
+        let r = system.run_trace(&trace).unwrap();
+        (r.cycles, r.engine.mem.total(), r.engine.hashes)
+    };
+    assert_eq!(run(0), run(1));
+}
+
+/// Workload generators hit their documented structure: persistent traces
+/// carry fences, SPEC traces do not.
+#[test]
+fn trace_shape_by_family() {
+    for w in Workload::PERSISTENT {
+        assert!(w.generate(500, 1).stats().fences > 0, "{w}");
+    }
+    for w in Workload::SPEC {
+        assert_eq!(w.generate(500, 1).stats().fences, 0, "{w}");
+    }
+}

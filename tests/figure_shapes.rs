@@ -1,0 +1,181 @@
+//! Shape assertions for every figure the paper reports: who wins, in
+//! which direction, with sane magnitudes. The bench harness binaries
+//! print the full series; these tests pin the orderings so regressions
+//! in the model are caught by `cargo test`.
+//!
+//! Scales are kept moderate so the suite stays fast; the harnesses run
+//! the same sweeps at full scale.
+
+use scue::fastrec::{recovery_cost, FastRecovery, FIG13_CACHE_SIZES};
+use scue::{overheads, SchemeKind};
+use scue_itree::TreeGeometry;
+use scue_sim::experiment::{
+    fig10_exec_time, fig9_write_latency, hash_latency_sweep, mean_of, metadata_accesses_vs_lazy,
+    Metric,
+};
+use scue_workloads::Workload;
+
+/// A representative subset: three persistent + three SPEC workloads.
+const WORKLOADS: [Workload; 6] = [
+    Workload::Array,
+    Workload::Queue,
+    Workload::Rbtree,
+    Workload::Mcf,
+    Workload::Soplex,
+    Workload::Lbm,
+];
+
+const SCALE: usize = 8_000;
+const SEED: u64 = 1;
+
+/// Fig. 9: mean write latencies order PLP > Lazy > SCUE and
+/// BMF > SCUE, all above Baseline.
+#[test]
+fn fig9_ordering() {
+    let rows = fig9_write_latency(&WORKLOADS, SCALE, SEED);
+    let plp = mean_of(&rows, SchemeKind::Plp);
+    let lazy = mean_of(&rows, SchemeKind::Lazy);
+    let bmf = mean_of(&rows, SchemeKind::BmfIdeal);
+    let scue = mean_of(&rows, SchemeKind::Scue);
+    assert!(scue >= 1.0, "SCUE {scue} below baseline");
+    assert!(scue < lazy, "SCUE {scue} !< Lazy {lazy}");
+    assert!(scue < bmf, "SCUE {scue} !< BMF {bmf}");
+    assert!(lazy < plp, "Lazy {lazy} !< PLP {plp}");
+    assert!(plp > 1.3, "PLP {plp} too cheap");
+    assert!(scue < 1.25, "SCUE {scue} too expensive (paper: 1.12)");
+}
+
+/// Fig. 10: execution time — SCUE lowest among secure schemes, PLP the
+/// slowdown champion (paper: 1.96× vs SCUE's 1.07×).
+#[test]
+fn fig10_ordering() {
+    let rows = fig10_exec_time(&WORKLOADS, SCALE, SEED);
+    let plp = mean_of(&rows, SchemeKind::Plp);
+    let lazy = mean_of(&rows, SchemeKind::Lazy);
+    let scue = mean_of(&rows, SchemeKind::Scue);
+    assert!(scue >= 1.0);
+    assert!(scue <= lazy + 1e-9, "SCUE {scue} !<= Lazy {lazy}");
+    assert!(plp > lazy, "PLP {plp} !> Lazy {lazy}");
+    assert!(plp > 1.5, "PLP {plp} should be the big slowdown");
+}
+
+/// Figs. 11–12: SCUE's sensitivity to hash latency is monotonic and
+/// bounded — write latency grows noticeably (paper: 1.20× average at
+/// 160 cycles), execution time barely (paper: 1.14×).
+#[test]
+fn fig11_fig12_hash_sensitivity() {
+    let wl = [Workload::Queue, Workload::Array, Workload::Gcc];
+    let wlat = hash_latency_sweep(Metric::WriteLatency, &wl, SCALE, SEED);
+    let exec = hash_latency_sweep(Metric::ExecTime, &wl, SCALE, SEED);
+    for row in &wlat {
+        let values: Vec<f64> = row.points.iter().map(|(_, v)| *v).collect();
+        assert!((values[0] - 1.0).abs() < 1e-9, "{}", row.workload);
+        for pair in values.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "{} not monotonic", row.workload);
+        }
+        assert!(
+            values[3] > 1.02 && values[3] < 1.8,
+            "{}: 160-cycle wlat {} out of band (paper ~1.2, max 1.36)",
+            row.workload,
+            values[3]
+        );
+    }
+    // Per-workload exec sensitivity varies widely (fence-per-op
+    // microbenchmarks like `queue` are the worst case); what the paper
+    // reports is the mean, which must stay modest.
+    let mut mean160 = 0.0;
+    for row in &exec {
+        let v160 = row.points[3].1;
+        mean160 += v160 / exec.len() as f64;
+        assert!(
+            v160 < 2.3,
+            "{}: exec at 160 cycles {} out of band",
+            row.workload,
+            v160
+        );
+        assert!(v160 >= 1.0 - 1e-9, "{}: exec cannot shrink", row.workload);
+    }
+    assert!(
+        mean160 < 1.7,
+        "mean exec at 160 cycles {mean160} too steep (paper 1.14)"
+    );
+}
+
+/// §V-E: PLP's metadata traffic is a large multiple of Lazy's; SCUE's is
+/// approximately Lazy's; BMF-ideal's is somewhat below Lazy's.
+#[test]
+fn metadata_access_ratios() {
+    let rows = metadata_accesses_vs_lazy(&[Workload::Array, Workload::Mcf], SCALE, SEED);
+    for (workload, series) in rows {
+        let get = |s: SchemeKind| {
+            series
+                .iter()
+                .find(|(k, _)| *k == s)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            get(SchemeKind::Plp) > 2.0,
+            "{workload}: PLP ratio {} (paper: ~7×)",
+            get(SchemeKind::Plp)
+        );
+        let scue = get(SchemeKind::Scue);
+        assert!(
+            (0.6..1.4).contains(&scue),
+            "{workload}: SCUE ratio {scue} (paper: ≈ Lazy)"
+        );
+        assert!(
+            get(SchemeKind::BmfIdeal) <= 1.05,
+            "{workload}: BMF ratio {} (paper: −8.7 % vs Lazy)",
+            get(SchemeKind::BmfIdeal)
+        );
+    }
+}
+
+/// Fig. 13: recovery-time model — linear in metadata cache size, AGIT
+/// above STAR, and the 4 MB endpoints near the paper's 0.05 s / 0.17 s.
+#[test]
+fn fig13_recovery_times() {
+    let star: Vec<f64> = FIG13_CACHE_SIZES
+        .iter()
+        .map(|&b| recovery_cost(FastRecovery::Star, b).time_s())
+        .collect();
+    let agit: Vec<f64> = FIG13_CACHE_SIZES
+        .iter()
+        .map(|&b| recovery_cost(FastRecovery::Agit, b).time_s())
+        .collect();
+    for i in 1..star.len() {
+        assert!(star[i] > star[i - 1]);
+        assert!(agit[i] > agit[i - 1]);
+        assert!(agit[i] > star[i]);
+    }
+    assert!((star.last().unwrap() - 0.05).abs() < 0.01);
+    assert!((agit.last().unwrap() - 0.17).abs() < 0.02);
+}
+
+/// §V-F: on-chip overhead table — SCUE 128 B, PLP under 1 KB, BMF-ideal
+/// 256 MB for the 16 GB geometry.
+#[test]
+fn overheads_table() {
+    let geom = TreeGeometry::paper_16gb();
+    assert_eq!(
+        overheads::on_chip(SchemeKind::Scue, &geom).nonvolatile_bytes,
+        128
+    );
+    assert!(overheads::on_chip(SchemeKind::Plp, &geom).nonvolatile_bytes < 1024);
+    assert_eq!(
+        overheads::on_chip(SchemeKind::BmfIdeal, &geom).nonvolatile_bytes,
+        256 * 1024 * 1024
+    );
+}
+
+/// The recovery-time model scales with what SCUE tracks: more stale
+/// metadata, more time — never sublinear cliffs.
+#[test]
+fn recovery_cost_scales_with_stale_set() {
+    let small = recovery_cost(FastRecovery::Star, 256 * 1024);
+    let large = recovery_cost(FastRecovery::Star, 4 * 1024 * 1024);
+    assert_eq!(large.stale_nodes, small.stale_nodes * 16);
+    let ratio = large.time_ns as f64 / small.time_ns as f64;
+    assert!((ratio - 16.0).abs() < 0.5);
+}
