@@ -1,32 +1,33 @@
-//! Criterion micro-benchmarks of the hot security primitives: the
-//! from-scratch SipHash, CME encryption, node codecs, dummy-counter
-//! summation and MAC constructions.
+//! Micro-benchmarks of the hot security primitives: the from-scratch
+//! SipHash, CME encryption, node codecs, dummy-counter summation and MAC
+//! constructions. Runs on the in-repo `scue_util::bench` harness; JSON
+//! lands in `results/bench_primitives.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use scue_crypto::cme::{self, CounterBlock};
 use scue_crypto::hmac::{data_line_hmac, sit_node_hmac};
 use scue_crypto::siphash::siphash24;
 use scue_crypto::SecretKey;
 use scue_itree::SitNode;
+use scue_util::bench::{black_box, BenchRunner};
 
-fn bench_siphash(c: &mut Criterion) {
+fn bench_siphash(c: &mut BenchRunner) {
     let key = SecretKey::from_seed(1);
     let data = [0xA5u8; 64];
     let mut group = c.benchmark_group("siphash24");
-    group.throughput(Throughput::Bytes(64));
+    group.throughput_bytes(64);
     group.bench_function("64B line", |b| {
         b.iter(|| siphash24(black_box(&key), black_box(&data)))
     });
     group.finish();
 }
 
-fn bench_cme(c: &mut Criterion) {
+fn bench_cme(c: &mut BenchRunner) {
     let key = SecretKey::from_seed(2);
     let mut ctr = CounterBlock::new();
     ctr.increment(5).unwrap();
     let plain = [0x5Au8; 64];
     let mut group = c.benchmark_group("cme");
-    group.throughput(Throughput::Bytes(64));
+    group.throughput_bytes(64);
     group.bench_function("encrypt_line", |b| {
         b.iter(|| cme::encrypt_line(black_box(&key), 0x1000, black_box(&ctr), 5, &plain))
     });
@@ -41,7 +42,7 @@ fn bench_cme(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs(c: &mut BenchRunner) {
     let mut node = SitNode::new();
     for i in 0..8 {
         node.set_counter(i, 0x1234_5678 * (i as u64 + 1));
@@ -69,7 +70,7 @@ fn bench_codecs(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_macs(c: &mut Criterion) {
+fn bench_macs(c: &mut BenchRunner) {
     let key = SecretKey::from_seed(3);
     let counters = [7u64; 8];
     let cipher = [0xC3u8; 64];
@@ -83,5 +84,11 @@ fn bench_macs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_siphash, bench_cme, bench_codecs, bench_macs);
-criterion_main!(benches);
+fn main() {
+    let mut runner = BenchRunner::new("primitives");
+    bench_siphash(&mut runner);
+    bench_cme(&mut runner);
+    bench_codecs(&mut runner);
+    bench_macs(&mut runner);
+    runner.finish();
+}

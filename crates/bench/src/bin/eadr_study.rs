@@ -11,8 +11,7 @@ use scue_bench::banner;
 use scue_nvm::LineAddr;
 
 fn verdict(scheme: SchemeKind, eadr: bool) -> RecoveryOutcome {
-    let mut mem =
-        SecureMemory::new(SecureMemConfig::small_test(scheme).with_eadr(eadr));
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(scheme).with_eadr(eadr));
     let mut now = 0;
     for i in 0..96u64 {
         now = mem

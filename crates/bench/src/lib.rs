@@ -1,7 +1,7 @@
 //! Shared plumbing for the figure/table harness binaries.
 //!
 //! Every binary prints a Table II banner, runs its sweep (parallelised
-//! across workloads with crossbeam scoped threads), and emits the same
+//! across workloads with `std::thread::scope`), and emits the same
 //! rows/series the corresponding paper figure plots, normalised the same
 //! way. Scales are configurable through `SCUE_SCALE` and `SCUE_SEED` so
 //! results remain reproducible and printable in CI or at full size.
@@ -42,8 +42,12 @@ pub fn banner(title: &str) {
     println!("==============================================================");
 }
 
-/// Runs `f` once per workload on a crossbeam scoped thread pool and
+/// Runs `f` once per workload on `std::thread::scope` threads and
 /// returns the results in workload order.
+///
+/// # Panics
+///
+/// Propagates a panic from any sweep thread.
 pub fn parallel_sweep<T, F>(workloads: &[Workload], f: F) -> Vec<T>
 where
     T: Send,
@@ -51,15 +55,14 @@ where
 {
     let mut out: Vec<Option<T>> = Vec::new();
     out.resize_with(workloads.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &workload) in out.iter_mut().zip(workloads.iter()) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(workload));
             });
         }
-    })
-    .expect("sweep thread panicked");
+    });
     out.into_iter().map(|v| v.expect("slot filled")).collect()
 }
 

@@ -319,7 +319,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut h = hierarchy();
-        assert_eq!(h.access(0, LineAddr::new(0), false).served_by, MemSide::Memory);
+        assert_eq!(
+            h.access(0, LineAddr::new(0), false).served_by,
+            MemSide::Memory
+        );
         assert_eq!(h.access(0, LineAddr::new(0), false).served_by, MemSide::L1);
     }
 

@@ -1,15 +1,15 @@
 //! Property tests for the cache substrate against reference models.
 
-use proptest::prelude::*;
 use scue_cache::{DataHierarchy, HierarchyConfig, SetAssocCache};
 use scue_nvm::LineAddr;
+use scue_util::prop::{self, prelude::*};
 use std::collections::{HashMap, HashSet};
 
 proptest! {
     /// The cache never reports a value it was not given, and a resident
     /// line always returns the latest inserted/updated value.
     #[test]
-    fn cache_is_a_lossy_map(ops in proptest::collection::vec((0u64..32, any::<u16>()), 1..200)) {
+    fn cache_is_a_lossy_map(ops in prop::collection::vec((0u64..32, any::<u16>()), 1..200)) {
         let mut cache: SetAssocCache<u16> = SetAssocCache::new(4, 2);
         let mut latest: HashMap<u64, u16> = HashMap::new();
         for (addr, val) in ops {
@@ -33,7 +33,7 @@ proptest! {
     fn capacity_invariant(
         sets in 1usize..8,
         ways in 1usize..8,
-        addrs in proptest::collection::vec(0u64..256, 1..300),
+        addrs in prop::collection::vec(0u64..256, 1..300),
     ) {
         let mut cache: SetAssocCache<()> = SetAssocCache::new(sets, ways);
         for addr in addrs {
@@ -45,7 +45,7 @@ proptest! {
     /// Dirty data is conserved: every line marked dirty either remains
     /// resident-dirty or was handed out through an eviction/drain.
     #[test]
-    fn dirty_lines_are_conserved(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+    fn dirty_lines_are_conserved(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
         let mut cache: SetAssocCache<()> = SetAssocCache::new(2, 2);
         let mut dirtied: HashSet<u64> = HashSet::new();
         let mut surfaced: HashSet<u64> = HashSet::new();
@@ -76,7 +76,7 @@ proptest! {
     /// written address eventually surfaces via writebacks or a final
     /// flush, exactly once per "latest" version.
     #[test]
-    fn hierarchy_conserves_dirty(ops in proptest::collection::vec((0u64..128, any::<bool>()), 1..300)) {
+    fn hierarchy_conserves_dirty(ops in prop::collection::vec((0u64..128, any::<bool>()), 1..300)) {
         let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
         let mut written: HashSet<u64> = HashSet::new();
         let mut surfaced: HashSet<u64> = HashSet::new();
@@ -100,7 +100,7 @@ proptest! {
     /// Hierarchy accesses are idempotent on residency: an immediate
     /// re-access of the same line always hits L1.
     #[test]
-    fn reaccess_hits_l1(addrs in proptest::collection::vec(0u64..1024, 1..100)) {
+    fn reaccess_hits_l1(addrs in prop::collection::vec(0u64..1024, 1..100)) {
         let mut h = DataHierarchy::new(HierarchyConfig::tiny(), 1);
         for addr in addrs {
             h.access(0, LineAddr::new(addr), false);

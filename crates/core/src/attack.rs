@@ -44,7 +44,10 @@ impl ReplayCapsule {
 /// Records the current NVM tuple of `leaf` for a later replay — what a
 /// bus snooper or DIMM thief does while the system runs.
 pub fn record_leaf(mem: &SecureMemory, leaf_index: u64) -> ReplayCapsule {
-    let addr = mem.context().geometry().node_addr(NodeId::new(0, leaf_index));
+    let addr = mem
+        .context()
+        .geometry()
+        .node_addr(NodeId::new(0, leaf_index));
     ReplayCapsule {
         addr,
         line: mem.store().read_line(addr),
@@ -63,11 +66,12 @@ pub fn replay_leaf(mem: &mut SecureMemory, capsule: &ReplayCapsule) {
 /// Rolls a leaf's counter *forward*: increments minor `minor` without
 /// touching the MAC (the attacker has no key to forge one).
 pub fn roll_forward_leaf(mem: &mut SecureMemory, leaf_index: u64, minor: usize) {
-    let addr = mem.context().geometry().node_addr(NodeId::new(0, leaf_index));
+    let addr = mem
+        .context()
+        .geometry()
+        .node_addr(NodeId::new(0, leaf_index));
     let mut block = CounterBlock::from_line(&mem.store().read_line(addr));
-    block
-        .increment(minor)
-        .expect("attack minor index in range");
+    block.increment(minor).expect("attack minor index in range");
     mem.store_mut().tamper_line(addr, block.to_line());
 }
 
@@ -205,10 +209,10 @@ mod tests {
         now = m.persist_data(LineAddr::new(0), [2; 64], now).unwrap();
         m.crash(now);
         replay_leaf(&mut m, &old);
-        assert!(matches!(
-            m.recover().outcome,
-            RecoveryOutcome::LeafMacMismatch { .. }
-        ), "the persistent root in nvMC pins the exact leaf content");
+        assert!(
+            matches!(m.recover().outcome, RecoveryOutcome::LeafMacMismatch { .. }),
+            "the persistent root in nvMC pins the exact leaf content"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl SchemeKind {
     /// persistent trust base) is consistent with persisted leaves at
     /// *every* instant — i.e., no crash window.
     pub fn root_crash_consistent(self) -> bool {
-        matches!(self, SchemeKind::Plp | SchemeKind::BmfIdeal | SchemeKind::Scue)
+        matches!(
+            self,
+            SchemeKind::Plp | SchemeKind::BmfIdeal | SchemeKind::Scue
+        )
     }
 }
 

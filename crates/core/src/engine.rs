@@ -234,10 +234,7 @@ impl SecureMemory {
             .filter(|p| p.slot == slot)
             .map(|p| p.delta)
             .fold(0u64, |a, d| a.wrapping_add(d));
-        self.running_root
-            .counter(slot)
-            .wrapping_add(pending)
-            & scue_itree::COUNTER_MASK
+        self.running_root.counter(slot).wrapping_add(pending) & scue_itree::COUNTER_MASK
     }
 
     // ------------------------------------------------------------------
@@ -632,18 +629,23 @@ impl SecureMemory {
             self.stats.overflows += 1;
             self.reencrypt_covered_lines(leaf, minor, &old_block, &block, now);
         }
-        let delta = block
-            .write_count()
-            .wrapping_sub(old_block.write_count());
+        let delta = block.write_count().wrapping_sub(old_block.write_count());
 
         // 3. Encrypt and persist the data line; MAC rides the ECC bits.
         // The ciphertext cannot form before the counter block arrives, so
         // the data write issues at `t_meta` for every scheme.
         let data_issue = now.max(t_meta);
         let cipher = cme::encrypt_line(self.ctx.key(), addr.raw(), &block, minor, &plain);
-        let e_data = self.mc.write(addr, cipher, data_issue, AccessKind::UserData);
+        let e_data = self
+            .mc
+            .write(addr, cipher, data_issue, AccessKind::UserData);
         if self.cfg.scheme.is_secure() {
-            let mac = data_line_hmac(self.ctx.key(), addr.raw(), &cipher, minor_counter(&block, minor));
+            let mac = data_line_hmac(
+                self.ctx.key(),
+                addr.raw(),
+                &cipher,
+                minor_counter(&block, minor),
+            );
             self.sideband.set(addr, mac);
         }
 
@@ -759,7 +761,9 @@ impl SecureMemory {
         // through, so their copy is clean; Baseline holds it dirty until
         // eviction.
         let leaf_dirty = !self.cfg.scheme.is_secure();
-        let victim = self.mdcache.insert(leaf_addr, MetaEntry::Leaf(block), leaf_dirty);
+        let victim = self
+            .mdcache
+            .insert(leaf_addr, MetaEntry::Leaf(block), leaf_dirty);
         self.buffer_victim(victim);
         // Drain displaced metadata. Lazy/Eager/PLP must finish the flush
         // work (hashes + parent write-throughs) before the write
@@ -882,7 +886,8 @@ impl SecureMemory {
             if cipher == [0u8; 64] && self.sideband.get(line_addr) == 0 {
                 continue; // never written; nothing to re-encrypt
             }
-            let plain = cme::decrypt_line(self.ctx.key(), line_addr.raw(), old_block, slot, &cipher);
+            let plain =
+                cme::decrypt_line(self.ctx.key(), line_addr.raw(), old_block, slot, &cipher);
             let fresh = cme::encrypt_line(self.ctx.key(), line_addr.raw(), new_block, slot, &plain);
             self.mc.write(line_addr, fresh, now, AccessKind::UserData);
             if self.cfg.scheme.is_secure() {
@@ -914,7 +919,11 @@ impl SecureMemory {
     /// # Panics
     ///
     /// Panics if the machine is crashed or the address is out of range.
-    pub fn read_data(&mut self, addr: LineAddr, now: Cycle) -> Result<(Line, Cycle), IntegrityError> {
+    pub fn read_data(
+        &mut self,
+        addr: LineAddr,
+        now: Cycle,
+    ) -> Result<(Line, Cycle), IntegrityError> {
         assert!(!self.crashed, "machine is crashed; call recover() first");
         assert!(
             self.ctx.geometry().is_data_line(addr),
@@ -941,7 +950,12 @@ impl SecureMemory {
             let actual = if expected == 0 && cipher == [0u8; 64] {
                 0 // never-written line
             } else {
-                data_line_hmac(self.ctx.key(), addr.raw(), &cipher, minor_counter(&block, minor))
+                data_line_hmac(
+                    self.ctx.key(),
+                    addr.raw(),
+                    &cipher,
+                    minor_counter(&block, minor),
+                )
             };
             if actual != expected {
                 return Err(IntegrityError {
@@ -1055,7 +1069,9 @@ mod tests {
             let mut m = mem(scheme);
             let mut now = 0;
             for i in 0..20u64 {
-                now = m.persist_data(LineAddr::new(i * 3), line(i as u8 + 1), now).unwrap();
+                now = m
+                    .persist_data(LineAddr::new(i * 3), line(i as u8 + 1), now)
+                    .unwrap();
             }
             for i in 0..20u64 {
                 let (data, done) = m.read_data(LineAddr::new(i * 3), now).unwrap();
@@ -1114,7 +1130,9 @@ mod tests {
         now = m.persist_data(LineAddr::new(2), line(0xA2), now).unwrap();
         // Drive line 0's minor past 127 to force an overflow.
         for i in 0..130u32 {
-            now = m.persist_data(LineAddr::new(0), line(i as u8), now).unwrap();
+            now = m
+                .persist_data(LineAddr::new(0), line(i as u8), now)
+                .unwrap();
         }
         assert!(m.stats().overflows >= 1);
         let (a, d1) = m.read_data(LineAddr::new(1), now).unwrap();
@@ -1155,8 +1173,14 @@ mod tests {
             means.insert(scheme, m.stats().mean_write_latency());
         }
         let get = |s: SchemeKind| means[&s];
-        assert!(get(SchemeKind::Baseline) < get(SchemeKind::Scue), "{means:?}");
-        assert!(get(SchemeKind::Scue) < get(SchemeKind::BmfIdeal), "{means:?}");
+        assert!(
+            get(SchemeKind::Baseline) < get(SchemeKind::Scue),
+            "{means:?}"
+        );
+        assert!(
+            get(SchemeKind::Scue) < get(SchemeKind::BmfIdeal),
+            "{means:?}"
+        );
         assert!(get(SchemeKind::Scue) < get(SchemeKind::Lazy), "{means:?}");
         assert!(get(SchemeKind::Scue) < get(SchemeKind::Plp), "{means:?}");
         // (Lazy vs PLP ordering emerges at realistic scale and is

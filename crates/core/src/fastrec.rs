@@ -97,8 +97,7 @@ pub fn recovery_cost(flavour: FastRecovery, mdcache_bytes: u64) -> RecoveryCost 
     let stale_nodes = mdcache_bytes / 64;
     let fetches = match flavour {
         FastRecovery::Star => {
-            stale_nodes * STAR_FETCHES_PER_NODE
-                + stale_nodes.div_ceil(STAR_NODES_PER_BITMAP_LINE)
+            stale_nodes * STAR_FETCHES_PER_NODE + stale_nodes.div_ceil(STAR_NODES_PER_BITMAP_LINE)
         }
         FastRecovery::Agit => stale_nodes * AGIT_FETCHES_PER_NODE,
     };

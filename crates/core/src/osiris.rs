@@ -114,9 +114,7 @@ pub fn recover_block(
                 if step > 0 {
                     report.replayed_minors += 1;
                     report.replay_steps += step as u64;
-                    recovered
-                        .set_minor(slot, candidate)
-                        .expect("slot < 64");
+                    recovered.set_minor(slot, candidate).expect("slot < 64");
                 }
                 found = true;
                 break;
@@ -280,7 +278,9 @@ mod tests {
         let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
         let mut now = 0;
         for i in 0..8u64 {
-            now = mem.persist_data(LineAddr::new(i * 64), [1; 64], now).unwrap();
+            now = mem
+                .persist_data(LineAddr::new(i * 64), [1; 64], now)
+                .unwrap();
         }
         mem.crash(now);
         let report = recover_image(&mut mem, DEFAULT_REPLAY_LIMIT).unwrap();

@@ -220,7 +220,8 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
             continue;
         }
         node.hmac = ctx.node_mac(node_id, &node, node.counter_sum());
-        mc.store_mut().write_line(geom.node_addr(node_id), node.to_line());
+        mc.store_mut()
+            .write_line(geom.node_addr(node_id), node.to_line());
     }
     *running_root = rebuilt_root;
     *recovery_root = rebuilt_root;
@@ -331,7 +332,9 @@ mod tests {
             let mut m = SecureMemory::new(SecureMemConfig::small_test(scheme));
             let mut now = 0;
             for i in 0..32u64 {
-                now = m.persist_data(LineAddr::new(i * 64 % 4096), [i as u8 + 1; 64], now).unwrap();
+                now = m
+                    .persist_data(LineAddr::new(i * 64 % 4096), [i as u8 + 1; 64], now)
+                    .unwrap();
             }
             m.crash(now);
             assert!(m.recover().outcome.is_success(), "{scheme}");
@@ -365,7 +368,8 @@ mod tests {
     fn eadr_does_not_fix_lazy() {
         // §III-C: eADR flushes caches but computes nothing; the lazy root
         // is still inconsistent with the leaves.
-        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy).with_eadr(true));
+        let mut m =
+            SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy).with_eadr(true));
         let now = run_writes(&mut m, 40);
         m.crash(now);
         assert_eq!(m.recover().outcome, RecoveryOutcome::RootMismatch);
@@ -373,7 +377,8 @@ mod tests {
 
     #[test]
     fn scue_recovers_with_eadr_too() {
-        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
+        let mut m =
+            SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
         let now = run_writes(&mut m, 40);
         m.crash(now);
         assert_eq!(m.recover().outcome, RecoveryOutcome::Clean);

@@ -22,7 +22,9 @@ fn crash_after_minor_overflow_recovers() {
     now = mem.persist_data(LineAddr::new(2), line(0xA2), now).unwrap();
     // Drive line 0 through a full wrap (127 increments + overflow).
     for i in 0..130u32 {
-        now = mem.persist_data(LineAddr::new(0), line(i as u8), now).unwrap();
+        now = mem
+            .persist_data(LineAddr::new(0), line(i as u8), now)
+            .unwrap();
     }
     assert!(mem.stats().overflows >= 1, "overflow must have happened");
     mem.crash(now);
@@ -79,7 +81,9 @@ fn tiny_cache_thrash_lazy_runtime_reads_verify() {
     }
     // Run-time reads (with full chain verification) all pass.
     for i in [0u64, 63, 255] {
-        let (data, done) = mem.read_data(LineAddr::new((i * 677) % 32768), now).unwrap();
+        let (data, done) = mem
+            .read_data(LineAddr::new((i * 677) % 32768), now)
+            .unwrap();
         assert_eq!(data, line(i as u8), "line {i}");
         now = done;
     }
@@ -89,8 +93,7 @@ fn tiny_cache_thrash_lazy_runtime_reads_verify() {
 /// §III-C). SCUE recovery must rebuild right over them.
 #[test]
 fn eadr_raw_flush_leaves_stale_macs_that_recovery_overwrites() {
-    let mut mem =
-        SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
+    let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(true));
     let mut now = 0;
     for i in 0..64u64 {
         now = mem
@@ -117,7 +120,9 @@ fn schemes_agree_on_ciphertext() {
         let mut mem = SecureMemory::new(SecureMemConfig::small_test(scheme));
         let mut now = 0;
         for &(addr, fill) in &sequence {
-            now = mem.persist_data(LineAddr::new(addr), line(fill), now).unwrap();
+            now = mem
+                .persist_data(LineAddr::new(addr), line(fill), now)
+                .unwrap();
         }
         let image: Vec<[u8; 64]> = sequence
             .iter()

@@ -1,10 +1,10 @@
 //! Property tests for the SCUE engine: the paper's guarantees hold for
 //! *arbitrary* persist streams, crash points and tamper choices.
 
-use proptest::prelude::*;
 use scue::attack;
 use scue::{RecoveryOutcome, SchemeKind, SecureMemConfig, SecureMemory};
 use scue_nvm::LineAddr;
+use scue_util::prop::{self, prelude::*};
 use std::collections::HashMap;
 
 fn apply_writes(mem: &mut SecureMemory, writes: &[(u16, u8)]) -> (u64, HashMap<u64, [u8; 64]>) {
@@ -26,7 +26,7 @@ proptest! {
     /// persist stream — the crash window does not exist (§IV-A).
     #[test]
     fn scue_always_recovers(
-        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..80),
+        writes in prop::collection::vec((any::<u16>(), any::<u8>()), 1..80),
         crash_jitter in 0u64..10_000,
     ) {
         let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
@@ -47,7 +47,7 @@ proptest! {
     /// the §IV-B2 invariant behind replay detection.
     #[test]
     fn recovery_root_equals_total_writes(
-        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..120),
+        writes in prop::collection::vec((any::<u16>(), any::<u8>()), 0..120),
     ) {
         let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
         let _ = apply_writes(&mut m, &writes);
@@ -60,7 +60,7 @@ proptest! {
     /// (replay). Completeness of Table I.
     #[test]
     fn tampering_is_always_detected(
-        writes in proptest::collection::vec((0u16..512, 1u8..=255), 2..60),
+        writes in prop::collection::vec((0u16..512, 1u8..=255), 2..60),
         victim in any::<u64>(),
         kind in 0u8..3,
     ) {
@@ -107,8 +107,8 @@ proptest! {
     #[test]
     fn crash_consistent_schemes_preserve_data(
         scheme_pick in 0usize..3,
-        phases in proptest::collection::vec(
-            proptest::collection::vec((any::<u16>(), any::<u8>()), 1..30),
+        phases in prop::collection::vec(
+            prop::collection::vec((any::<u16>(), any::<u8>()), 1..30),
             1..4,
         ),
     ) {
@@ -139,7 +139,7 @@ proptest! {
     /// the last full flush — i.e., in any realistic crash.
     #[test]
     fn lazy_fails_after_any_unflushed_persist(
-        writes in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..40),
+        writes in prop::collection::vec((any::<u16>(), any::<u8>()), 1..40),
     ) {
         let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy));
         let (now, _) = apply_writes(&mut m, &writes);
@@ -151,7 +151,7 @@ proptest! {
     /// writes leaves SCUE recoverable.
     #[test]
     fn reads_do_not_break_recovery(
-        ops in proptest::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..80),
+        ops in prop::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..80),
     ) {
         let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
         let mut now = 0;

@@ -168,7 +168,11 @@ mod tests {
     #[test]
     fn parallel_branch_is_one_latency_per_port_width() {
         let mut e = HashEngine::with_ports(40, 9);
-        assert_eq!(e.parallel_done(0, 9), 40, "nine ports, nine hashes: one latency");
+        assert_eq!(
+            e.parallel_done(0, 9),
+            40,
+            "nine ports, nine hashes: one latency"
+        );
         let mut e = HashEngine::with_ports(40, 1);
         assert_eq!(e.parallel_done(0, 9), 40 + 8, "single port staggers issue");
     }

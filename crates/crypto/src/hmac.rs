@@ -45,7 +45,12 @@ mod domain {
 /// forged[0] += 1;
 /// assert_ne!(tag, sit_node_hmac(&key, 0x4000, &forged, 3));
 /// ```
-pub fn sit_node_hmac(key: &SecretKey, node_addr: u64, counters: &[u64], parent_counter: u64) -> u64 {
+pub fn sit_node_hmac(
+    key: &SecretKey,
+    node_addr: u64,
+    counters: &[u64],
+    parent_counter: u64,
+) -> u64 {
     let mut h = WordHasher::new(key);
     h.write_u64(domain::SIT_NODE);
     h.write_u64(node_addr);
@@ -99,7 +104,11 @@ mod tests {
         let counters = [5u64; 8];
         let base = sit_node_hmac(&key(), 0x100, &counters, 40);
         assert_ne!(base, sit_node_hmac(&key(), 0x140, &counters, 40), "address");
-        assert_ne!(base, sit_node_hmac(&key(), 0x100, &counters, 41), "parent counter");
+        assert_ne!(
+            base,
+            sit_node_hmac(&key(), 0x100, &counters, 41),
+            "parent counter"
+        );
         let mut c2 = counters;
         c2[7] = 6;
         assert_ne!(base, sit_node_hmac(&key(), 0x100, &c2, 40), "own counter");
@@ -134,7 +143,10 @@ mod tests {
         let line = [9u8; 64];
         let fresh = data_line_hmac(&key(), 0x80, &line, 7);
         let stale = data_line_hmac(&key(), 0x80, &line, 6);
-        assert_ne!(fresh, stale, "old counter + old MAC must not match new counter");
+        assert_ne!(
+            fresh, stale,
+            "old counter + old MAC must not match new counter"
+        );
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! Property-based tests for the crypto substrate.
 
-use proptest::prelude::*;
 use scue_crypto::cme::{
     self, CounterBlock, IncrementOutcome, LINE_BYTES, MINORS_PER_BLOCK, MINOR_MAX,
 };
 use scue_crypto::hmac;
 use scue_crypto::siphash::{siphash24, WordHasher};
 use scue_crypto::SecretKey;
+use scue_util::prop::{self, prelude::*};
 
 proptest! {
     /// Pack/unpack of the 7-bit minor array is lossless for any contents.
     #[test]
-    fn counter_block_line_roundtrip(major in any::<u64>(), minors in proptest::collection::vec(0u8..=MINOR_MAX, MINORS_PER_BLOCK)) {
+    fn counter_block_line_roundtrip(major in any::<u64>(), minors in prop::collection::vec(0u8..=MINOR_MAX, MINORS_PER_BLOCK)) {
         let mut block = CounterBlock::new();
         // Drive the block to the target state through its public API:
         // increment minor i `minors[i]` times.
@@ -34,7 +34,7 @@ proptest! {
         addr in any::<u64>(),
         minor_index in 0usize..MINORS_PER_BLOCK,
         bumps in 0usize..32,
-        payload in proptest::collection::vec(any::<u8>(), LINE_BYTES),
+        payload in prop::collection::vec(any::<u8>(), LINE_BYTES),
     ) {
         let key = SecretKey::from_seed(seed);
         let mut ctr = CounterBlock::new();
@@ -68,7 +68,7 @@ proptest! {
     /// write_count equals the number of increments applied (below
     /// overflow), regardless of which minors receive them.
     #[test]
-    fn write_count_counts_increments(ops in proptest::collection::vec(0usize..MINORS_PER_BLOCK, 0..200)) {
+    fn write_count_counts_increments(ops in prop::collection::vec(0usize..MINORS_PER_BLOCK, 0..200)) {
         let mut block = CounterBlock::new();
         let mut applied = 0u64;
         for op in ops {
@@ -85,7 +85,7 @@ proptest! {
     #[test]
     fn sit_hmac_input_sensitivity(
         addr in any::<u64>(),
-        counters in proptest::collection::vec(any::<u64>(), 8),
+        counters in prop::collection::vec(any::<u64>(), 8),
         parent in any::<u64>(),
         flip_idx in 0usize..8,
     ) {
@@ -100,7 +100,7 @@ proptest! {
     /// The byte-stream hash matches itself on split inputs (sanity of the
     /// chunking logic).
     #[test]
-    fn siphash_deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn siphash_deterministic(data in prop::collection::vec(any::<u8>(), 0..256)) {
         let key = SecretKey::from_seed(77);
         prop_assert_eq!(siphash24(&key, &data), siphash24(&key, &data));
     }
@@ -108,7 +108,7 @@ proptest! {
     /// Word hasher: different word sequences produce different tags (no
     /// trivial collisions between permutations or extensions).
     #[test]
-    fn word_hasher_extension_safe(words in proptest::collection::vec(any::<u64>(), 0..16)) {
+    fn word_hasher_extension_safe(words in prop::collection::vec(any::<u64>(), 0..16)) {
         let key = SecretKey::from_seed(13);
         let mut h1 = WordHasher::new(&key);
         h1.write_all(&words);

@@ -126,7 +126,10 @@ mod tests {
         for _ in 0..bumps {
             block.increment(0).unwrap();
         }
-        store.write_line(ctx.geometry().node_addr(NodeId::new(0, idx)), block.to_line());
+        store.write_line(
+            ctx.geometry().node_addr(NodeId::new(0, idx)),
+            block.to_line(),
+        );
     }
 
     #[test]

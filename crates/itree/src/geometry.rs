@@ -210,7 +210,10 @@ impl TreeGeometry {
     pub fn parent(&self, node: NodeId) -> Parent {
         let level = node.level as usize;
         assert!(level < self.level_counts.len(), "level {level} not stored");
-        assert!(node.index < self.level_counts[level], "node {node} out of range");
+        assert!(
+            node.index < self.level_counts[level],
+            "node {node} out of range"
+        );
         if level + 1 == self.level_counts.len() {
             Parent::Root((node.index % ARITY) as usize)
         } else {

@@ -168,7 +168,10 @@ mod tests {
         let before = c.rebuild_all(&mut store);
         store.tamper_line(LineAddr::new(10), [4u8; 64]);
         let after = c.rebuild_all(&mut store);
-        assert_ne!(before, after, "replayed/altered data yields a different root");
+        assert_ne!(
+            before, after,
+            "replayed/altered data yields a different root"
+        );
     }
 
     #[test]

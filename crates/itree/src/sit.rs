@@ -101,7 +101,10 @@ impl SitContext {
     ///
     /// Panics if `node_id` is the leaf level — use [`SitContext::read_leaf`].
     pub fn read_node(&self, store: &NvmStore, node_id: NodeId) -> SitNode {
-        assert!(node_id.level > 0, "level 0 holds counter blocks, not SitNodes");
+        assert!(
+            node_id.level > 0,
+            "level 0 holds counter blocks, not SitNodes"
+        );
         SitNode::from_line(&store.read_line(self.geometry.node_addr(node_id)))
     }
 
@@ -111,7 +114,10 @@ impl SitContext {
     ///
     /// Panics if `node_id` is the leaf level.
     pub fn write_node(&self, store: &mut NvmStore, node_id: NodeId, node: &SitNode) {
-        assert!(node_id.level > 0, "level 0 holds counter blocks, not SitNodes");
+        assert!(
+            node_id.level > 0,
+            "level 0 holds counter blocks, not SitNodes"
+        );
         store.write_line(self.geometry.node_addr(node_id), node.to_line());
     }
 
@@ -204,10 +210,8 @@ impl SitContext {
             let mut dummies = vec![0u64; count];
             for node_idx in 0..count {
                 let slice = &counters[node_idx * 8..node_idx * 8 + 8];
-                dummies[node_idx] = slice
-                    .iter()
-                    .fold(0u64, |acc, &c| acc.wrapping_add(c))
-                    & COUNTER_MASK;
+                dummies[node_idx] =
+                    slice.iter().fold(0u64, |acc, &c| acc.wrapping_add(c)) & COUNTER_MASK;
             }
             level_counters.push(counters);
             prev = dummies;
@@ -262,7 +266,13 @@ mod tests {
         SitContext::new(TreeGeometry::tiny(64), SecretKey::from_seed(42))
     }
 
-    fn bump_leaf(ctx: &SitContext, store: &mut NvmStore, leaf_idx: u64, minor: usize, times: usize) {
+    fn bump_leaf(
+        ctx: &SitContext,
+        store: &mut NvmStore,
+        leaf_idx: u64,
+        minor: usize,
+        times: usize,
+    ) {
         let leaf = NodeId::new(0, leaf_idx);
         let mut block = ctx.read_leaf(store, leaf);
         for _ in 0..times {

@@ -7,12 +7,12 @@
 //! eager construction, so these properties are checked against it for
 //! arbitrary leaf populations.
 
-use proptest::prelude::*;
 use scue_crypto::cme::CounterBlock;
 use scue_crypto::SecretKey;
 use scue_itree::geometry::{NodeId, Parent, TreeGeometry};
 use scue_itree::{MacSideband, SitContext};
 use scue_nvm::NvmStore;
+use scue_util::prop::{self, prelude::*};
 
 /// Applies `(leaf, minor, times)` increments through the CounterBlock API
 /// and writes the blocks into the store.
@@ -44,7 +44,7 @@ proptest! {
     #[test]
     fn counter_sum_invariant(
         leaves in 1u64..65,
-        ops in proptest::collection::vec((any::<u64>(), 0usize..64, 1usize..6), 0..40),
+        ops in prop::collection::vec((any::<u64>(), 0usize..64, 1usize..6), 0..40),
     ) {
         let ctx = SitContext::new(TreeGeometry::tiny(leaves), SecretKey::from_seed(1));
         let mut store = NvmStore::new();
@@ -85,7 +85,7 @@ proptest! {
     /// counter, and any single-counter tamper breaks verification.
     #[test]
     fn leaf_verification_sound_and_complete(
-        ops in proptest::collection::vec((0u64..16, 0usize..64, 1usize..4), 1..20),
+        ops in prop::collection::vec((0u64..16, 0usize..64, 1usize..4), 1..20),
         tamper_leaf in 0u64..16,
     ) {
         let ctx = SitContext::new(TreeGeometry::tiny(16), SecretKey::from_seed(2));
@@ -115,7 +115,7 @@ proptest! {
     /// reconstructability — what counter-summing buys SIT).
     #[test]
     fn reconstruction_from_leaves_alone(
-        ops in proptest::collection::vec((0u64..64, 0usize..64, 1usize..4), 0..30),
+        ops in prop::collection::vec((0u64..64, 0usize..64, 1usize..4), 0..30),
     ) {
         let ctx = SitContext::new(TreeGeometry::tiny(64), SecretKey::from_seed(3));
         let mut store = NvmStore::new();

@@ -32,5 +32,5 @@ pub mod timing;
 pub mod wpq;
 
 pub use addr::{Cycle, LineAddr, LINE_BYTES};
-pub use controller::{AccessKind, MemoryController, MemStats};
+pub use controller::{AccessKind, MemStats, MemoryController};
 pub use store::NvmStore;

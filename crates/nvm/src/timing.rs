@@ -221,7 +221,11 @@ impl PcmDevice {
         bank.busy_until = done;
         bank.open_row = Some(row);
         bank.last_op = LastOp::Read;
-        Scheduled { start, done, row_hit }
+        Scheduled {
+            start,
+            done,
+            row_hit,
+        }
     }
 
     /// Schedules a write of `addr` issued to the device at `now`. `done` is
@@ -247,7 +251,11 @@ impl PcmDevice {
         bank.busy_until = done + t.t_wr;
         bank.open_row = Some(row);
         bank.last_op = LastOp::Write;
-        Scheduled { start, done, row_hit }
+        Scheduled {
+            start,
+            done,
+            row_hit,
+        }
     }
 
     /// Cycle at which every bank is idle (used to time WPQ drain / ADR

@@ -173,7 +173,10 @@ mod tests {
         let c = wpq.enqueue(LineAddr::new(128), 0, &mut dev);
         assert_eq!(a.accepted, 0);
         assert_eq!(b.accepted, 0);
-        assert_eq!(c.accepted, a.drained, "third write waits for the oldest drain");
+        assert_eq!(
+            c.accepted, a.drained,
+            "third write waits for the oldest drain"
+        );
         let (enq, stalls, peak) = wpq.stats();
         assert_eq!(enq, 3);
         assert_eq!(stalls, 1);

@@ -1,17 +1,17 @@
 //! Property tests for the NVM substrate: store semantics, WPQ ordering,
 //! and timing-model sanity under random access streams.
 
-use proptest::prelude::*;
 use scue_nvm::store::{NvmStore, ZERO_LINE};
 use scue_nvm::timing::{PcmDevice, PcmTiming};
 use scue_nvm::wpq::WritePendingQueue;
 use scue_nvm::{AccessKind, LineAddr, MemoryController};
+use scue_util::prop::{self, prelude::*};
 use std::collections::HashMap;
 
 proptest! {
     /// The sparse store behaves exactly like a total map defaulting to zero.
     #[test]
-    fn store_matches_reference_map(ops in proptest::collection::vec((0u64..64, any::<u8>()), 0..200)) {
+    fn store_matches_reference_map(ops in prop::collection::vec((0u64..64, any::<u8>()), 0..200)) {
         let mut store = NvmStore::new();
         let mut reference: HashMap<u64, [u8; 64]> = HashMap::new();
         for (addr, fill) in ops {
@@ -28,8 +28,8 @@ proptest! {
     /// Snapshot/restore always returns to the exact captured image.
     #[test]
     fn snapshot_restore_is_exact(
-        before in proptest::collection::vec((0u64..32, 1u8..=255), 0..50),
-        after in proptest::collection::vec((0u64..32, any::<u8>()), 0..50),
+        before in prop::collection::vec((0u64..32, 1u8..=255), 0..50),
+        after in prop::collection::vec((0u64..32, any::<u8>()), 0..50),
     ) {
         let mut store = NvmStore::new();
         for (addr, fill) in &before {
@@ -51,7 +51,7 @@ proptest! {
     #[test]
     fn wpq_capacity_and_monotonicity(
         capacity in 1usize..16,
-        arrivals in proptest::collection::vec((0u64..512, 0u64..50), 1..100),
+        arrivals in prop::collection::vec((0u64..512, 0u64..50), 1..100),
     ) {
         let mut dev = PcmDevice::new(PcmTiming::paper_2ghz(), 4, 64);
         let mut wpq = WritePendingQueue::new(capacity);
@@ -72,7 +72,7 @@ proptest! {
     /// Timing device: completions never precede issue, and bank state
     /// never travels back in time for in-order issue per bank.
     #[test]
-    fn device_time_is_causal(ops in proptest::collection::vec((0u64..1024, any::<bool>(), 0u64..100), 1..200)) {
+    fn device_time_is_causal(ops in prop::collection::vec((0u64..1024, any::<bool>(), 0u64..100), 1..200)) {
         let mut dev = PcmDevice::paper();
         let mut now = 0u64;
         for (addr, is_read, gap) in ops {
@@ -90,7 +90,7 @@ proptest! {
     /// Controller: every written line reads back; read-after-write always
     /// returns the latest data regardless of queue state.
     #[test]
-    fn controller_read_after_write(ops in proptest::collection::vec((0u64..64, any::<u8>()), 1..100)) {
+    fn controller_read_after_write(ops in prop::collection::vec((0u64..64, any::<u8>()), 1..100)) {
         let mut mc = MemoryController::paper();
         let mut now = 0u64;
         let mut latest: HashMap<u64, [u8; 64]> = HashMap::new();
@@ -103,5 +103,26 @@ proptest! {
             prop_assert_eq!(&data, latest.get(&addr).unwrap());
             now = done;
         }
+    }
+}
+
+/// Regression preserved from `prop_nvm.proptest-regressions`: the shrunk
+/// counterexample proptest once found for `wpq_capacity_and_monotonicity`
+/// (capacity 2, five same-cycle arrivals hitting the coalescing path),
+/// kept as a pinned explicit input so the fix never regresses.
+#[test]
+fn wpq_regression_same_cycle_burst() {
+    let capacity = 2usize;
+    let arrivals = [(320u64, 0u64), (64, 0), (128, 0), (0, 0), (0, 0)];
+    let mut dev = PcmDevice::new(PcmTiming::paper_2ghz(), 4, 64);
+    let mut wpq = WritePendingQueue::new(capacity);
+    let mut now = 0u64;
+    for (addr, gap) in arrivals {
+        now += gap;
+        let e = wpq.enqueue(LineAddr::new(addr), now, &mut dev);
+        assert!(e.accepted >= now, "cannot accept before arrival");
+        assert!(e.drained >= now, "drain after arrival");
+        let (_, _, peak) = wpq.stats();
+        assert!(peak <= capacity, "occupancy bounded by capacity");
     }
 }

@@ -63,13 +63,11 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |it: &mut dyn Iterator<Item = String>| -> String {
+        let value = |it: &mut dyn Iterator<Item = String>| -> String {
             it.next().unwrap_or_else(|| usage())
         };
         match flag.as_str() {
-            "--scheme" => {
-                args.scheme = parse_scheme(&value(&mut it)).unwrap_or_else(|| usage())
-            }
+            "--scheme" => args.scheme = parse_scheme(&value(&mut it)).unwrap_or_else(|| usage()),
             "--workload" => {
                 args.workload = parse_workload(&value(&mut it)).unwrap_or_else(|| usage())
             }
@@ -131,7 +129,10 @@ fn main() {
     println!("ops replayed:      {}", result.ops);
     println!("persists:          {}", result.engine.persists);
     println!("mean write lat:    {:.1} cyc", result.mean_write_latency());
-    println!("mean read lat:     {:.1} cyc", result.engine.mean_read_latency());
+    println!(
+        "mean read lat:     {:.1} cyc",
+        result.engine.mean_read_latency()
+    );
     println!(
         "memory accesses:   {} user ({} r / {} w), {} metadata ({} r / {} w)",
         result.engine.mem.user_reads + result.engine.mem.user_writes,

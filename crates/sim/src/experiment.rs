@@ -59,7 +59,13 @@ pub enum Metric {
     MetadataAccesses,
 }
 
-fn measure(metric: Metric, system_cfg: SystemConfig, workload: Workload, scale: usize, seed: u64) -> f64 {
+fn measure(
+    metric: Metric,
+    system_cfg: SystemConfig,
+    workload: Workload,
+    scale: usize,
+    seed: u64,
+) -> f64 {
     let trace = workload.generate(scale, seed);
     let mut system = System::new(system_cfg);
     let result = system
@@ -191,7 +197,10 @@ pub fn hash_latency_sweep(
                     (lat, raw / base.max(1.0))
                 })
                 .collect();
-            HashSweepRow { workload: w, points }
+            HashSweepRow {
+                workload: w,
+                points,
+            }
         })
         .collect()
 }
@@ -218,8 +227,14 @@ mod tests {
         let rows = hash_latency_sweep(Metric::WriteLatency, &[Workload::Queue], 300, 1);
         let points = &rows[0].points;
         assert_eq!(points.len(), 4);
-        assert!((points[0].1 - 1.0).abs() < 1e-9, "normalised to the 20-cycle run");
-        assert!(points[3].1 >= points[0].1, "160-cycle hashes cannot be cheaper");
+        assert!(
+            (points[0].1 - 1.0).abs() < 1e-9,
+            "normalised to the 20-cycle run"
+        );
+        assert!(
+            points[3].1 >= points[0].1,
+            "160-cycle hashes cannot be cheaper"
+        );
     }
 
     #[test]

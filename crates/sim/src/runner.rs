@@ -122,11 +122,7 @@ impl System {
             now = now.max(oldest);
             self.outstanding_writebacks.retain(|&done| done > now);
         }
-        let content = self
-            .program_mem
-            .get(&addr)
-            .copied()
-            .unwrap_or([0u8; 64]);
+        let content = self.program_mem.get(&addr).copied().unwrap_or([0u8; 64]);
         let done = self.engine.persist_data(addr, content, now)?;
         self.outstanding_writebacks.push(done);
         Ok(now)
@@ -176,11 +172,7 @@ impl System {
             MemOp::Persist(addr) => {
                 now += 2; // clwb issue
                 if let Some(dirty) = self.hierarchy.flush_line(core, addr) {
-                    let content = self
-                        .program_mem
-                        .get(&dirty)
-                        .copied()
-                        .unwrap_or([0u8; 64]);
+                    let content = self.program_mem.get(&dirty).copied().unwrap_or([0u8; 64]);
                     let done = self.engine.persist_data(dirty, content, now)?;
                     outstanding.push(done);
                 }

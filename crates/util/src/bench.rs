@@ -1,0 +1,414 @@
+//! In-repo micro-benchmark harness: warmup, calibrated timed samples,
+//! median/p95 reporting and JSON output under `results/`.
+//!
+//! Replaces Criterion for the `crates/bench` benches with the same call
+//! shapes (`group` / `bench_function` / `Bencher::iter`), but with no
+//! external dependencies and a deliberately small feature set: each
+//! bench runs a warmup, then `sample_count` samples of a calibrated
+//! iteration batch, and the harness reports the median, p95, mean and
+//! min nanoseconds per iteration. `finish()` writes one JSON document
+//! per harness to `results/bench_<name>.json` (override the directory
+//! with `SCUE_BENCH_DIR`).
+//!
+//! Tunables: `SCUE_BENCH_SAMPLES` (samples per bench, default 30),
+//! `SCUE_BENCH_SAMPLE_MS` (target wall time per sample, default 10),
+//! `SCUE_BENCH_WARMUP_MS` (warmup per bench, default 50).
+
+pub use std::hint::black_box;
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Setup-cost hint for [`Bencher::iter_batched`]; accepted for call-site
+/// compatibility, the harness times every routine call individually
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap setup relative to the routine.
+    SmallInput,
+    /// Expensive setup relative to the routine.
+    LargeInput,
+}
+
+/// One measured benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (e.g. `"siphash24"`).
+    pub group: String,
+    /// Bench id within the group (e.g. `"64B line"`).
+    pub bench: String,
+    /// Median ns/iter over the samples.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter over the samples.
+    pub p95_ns: f64,
+    /// Mean ns/iter over the samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Bytes processed per iteration, when declared via `throughput_bytes`.
+    pub throughput_bytes: Option<u64>,
+}
+
+impl BenchRecord {
+    fn json(&self) -> String {
+        let mut s = format!(
+            "{{\"group\":{},\"bench\":{},\"median_ns\":{:.2},\"p95_ns\":{:.2},\"mean_ns\":{:.2},\"min_ns\":{:.2},\"samples\":{},\"iters_per_sample\":{}",
+            json_string(&self.group),
+            json_string(&self.bench),
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample,
+        );
+        if let Some(bytes) = self.throughput_bytes {
+            let gib_s = bytes as f64 / self.median_ns; // bytes/ns == GB/s
+            s.push_str(&format!(
+                ",\"throughput_bytes\":{bytes},\"gb_per_s\":{gib_s:.3}"
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Where bench JSON lands: `SCUE_BENCH_DIR`, else the workspace
+/// `results/` directory if discoverable from the manifest dir, else
+/// `./results`.
+fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SCUE_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = PathBuf::from(manifest);
+        // Walk up to the workspace root (the first ancestor holding a
+        // `results/` dir or a workspace Cargo.toml).
+        for _ in 0..4 {
+            if dir.join("results").is_dir() {
+                return dir.join("results");
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Top-level harness: owns config and collected records, writes JSON on
+/// [`BenchRunner::finish`].
+#[derive(Debug)]
+pub struct BenchRunner {
+    name: String,
+    sample_count: usize,
+    warmup: Duration,
+    target_sample: Duration,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchRunner {
+    /// Creates a harness named `name` (names the JSON output file).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            sample_count: env_usize("SCUE_BENCH_SAMPLES", 30),
+            warmup: Duration::from_millis(env_usize("SCUE_BENCH_WARMUP_MS", 50) as u64),
+            target_sample: Duration::from_millis(env_usize("SCUE_BENCH_SAMPLE_MS", 10) as u64),
+            records: Vec::new(),
+        }
+    }
+
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup {
+            group_name: name.to_string(),
+            sample_count: self.sample_count,
+            throughput_bytes: None,
+            runner: self,
+        }
+    }
+
+    /// Writes all collected records as JSON and prints the output path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written.
+    pub fn finish(self) {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("bench_{}.json", self.name));
+        let body: Vec<String> = self.records.iter().map(BenchRecord::json).collect();
+        let doc = format!(
+            "{{\"harness\":{},\"results\":[\n  {}\n]}}\n",
+            json_string(&self.name),
+            body.join(",\n  ")
+        );
+        std::fs::write(&path, doc).expect("write bench json");
+        println!(
+            "\nwrote {} results to {}",
+            self.records.len(),
+            path.display()
+        );
+    }
+}
+
+/// A group of benches sharing a name, sample count and throughput unit.
+#[derive(Debug)]
+pub struct BenchGroup<'a> {
+    runner: &'a mut BenchRunner,
+    group_name: String,
+    sample_count: usize,
+    throughput_bytes: Option<u64>,
+}
+
+impl BenchGroup<'_> {
+    /// Declares bytes processed per iteration (enables GB/s reporting).
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_count = samples.max(2);
+        self
+    }
+
+    /// Runs one bench: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warmup: self.runner.warmup,
+            target_sample: self.runner.target_sample,
+            sample_count: self.sample_count,
+            sample_ns_per_iter: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        assert!(
+            !bencher.sample_ns_per_iter.is_empty(),
+            "bench '{id}' never called iter()/iter_batched()"
+        );
+        let mut sorted = bencher.sample_ns_per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = sorted[sorted.len() / 2];
+        let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let record = BenchRecord {
+            group: self.group_name.clone(),
+            bench: id.to_string(),
+            median_ns: median,
+            p95_ns: p95,
+            mean_ns: mean,
+            min_ns: sorted[0],
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            throughput_bytes: self.throughput_bytes,
+        };
+        let throughput = match self.throughput_bytes {
+            Some(bytes) => format!("  {:>8.2} GB/s", bytes as f64 / record.median_ns),
+            None => String::new(),
+        };
+        println!(
+            "{:<28} {:<22} median {:>10.1} ns  p95 {:>10.1} ns  min {:>10.1} ns{}",
+            self.group_name, id, record.median_ns, record.p95_ns, record.min_ns, throughput
+        );
+        self.runner.records.push(record);
+    }
+
+    /// `bench_function` with an explicit input value (Criterion's
+    /// `bench_with_input` shape).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (record collection is eager; this is for call-site
+    /// symmetry with Criterion).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    target_sample: Duration,
+    sample_count: usize,
+    sample_ns_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` in calibrated batches: warmup, pick an iteration count
+    /// that fills roughly the target sample duration, then record
+    /// ns/iter for each sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup, also measuring the rough cost of one iteration.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let iters =
+            ((self.target_sample.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            self.sample_ns_per_iter.push(ns / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup
+    /// time from the measurement. Iteration count per sample is fixed
+    /// low because each call is timed individually.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        // Warmup: one full setup+routine cycle.
+        let warmup_start = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let _ = start.elapsed();
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Each sample is a small batch of individually-timed calls.
+        let batch: u64 = 4;
+        self.iters_per_sample = batch;
+        for _ in 0..self.sample_count {
+            let mut total_ns = 0f64;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total_ns += start.elapsed().as_nanos() as f64;
+            }
+            self.sample_ns_per_iter.push(total_ns / batch as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_runner(name: &str) -> BenchRunner {
+        let mut r = BenchRunner::new(name);
+        r.sample_count = 5;
+        r.warmup = Duration::from_micros(200);
+        r.target_sample = Duration::from_micros(200);
+        r
+    }
+
+    #[test]
+    fn iter_collects_samples_and_stats() {
+        let mut r = quick_runner("selftest");
+        let mut g = r.benchmark_group("group");
+        g.throughput_bytes(64);
+        g.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+        g.finish();
+        let rec = &r.records[0];
+        assert_eq!(rec.samples, 5);
+        assert!(rec.median_ns > 0.0);
+        assert!(rec.p95_ns >= rec.median_ns || (rec.p95_ns - rec.median_ns).abs() < 1e-9);
+        assert!(rec.min_ns <= rec.median_ns);
+        assert_eq!(rec.throughput_bytes, Some(64));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut r = quick_runner("selftest2");
+        let mut g = r.benchmark_group("batched");
+        g.sample_size(3);
+        g.bench_with_input("sum", &1000u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(r.records[0].samples, 3);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        let rec = BenchRecord {
+            group: "g".into(),
+            bench: "b".into(),
+            median_ns: 1.5,
+            p95_ns: 2.0,
+            mean_ns: 1.6,
+            min_ns: 1.0,
+            samples: 3,
+            iters_per_sample: 10,
+            throughput_bytes: Some(64),
+        };
+        let j = rec.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"median_ns\":1.50"));
+        assert!(j.contains("\"gb_per_s\""));
+    }
+
+    #[test]
+    fn finish_writes_json_to_env_dir() {
+        let dir = std::env::temp_dir().join("scue_bench_selftest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("SCUE_BENCH_DIR", &dir);
+        let mut r = quick_runner("writer");
+        let mut g = r.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+        r.finish();
+        std::env::remove_var("SCUE_BENCH_DIR");
+        let body = std::fs::read_to_string(dir.join("bench_writer.json")).expect("json written");
+        assert!(body.contains("\"harness\":\"writer\""));
+        assert!(body.contains("\"bench\":\"noop\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

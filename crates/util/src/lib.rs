@@ -1,0 +1,23 @@
+//! Zero-dependency utility substrate for the SCUE workspace.
+//!
+//! The workspace builds hermetically — no crates-io dependencies, ever
+//! (see the "zero external dependencies" policy in `DESIGN.md`). This
+//! crate holds the three pieces of infrastructure that used to come
+//! from external crates:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256** PRNG with a
+//!   `rand`-compatible surface (`gen_range`, `gen_bool`, `fill_bytes`),
+//!   pinned by golden-vector tests (replaces `rand`);
+//! * [`prop`] — a property-testing harness with composable strategies,
+//!   deterministic seeding, failing-case seed reporting and greedy
+//!   integer/vec shrinking (replaces `proptest`);
+//! * [`bench`] — a micro-benchmark runner with warmup, calibrated
+//!   samples, median/p95 reporting and JSON output under `results/`
+//!   (replaces `criterion`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;

@@ -8,8 +8,7 @@
 
 use crate::pmem::PmRegion;
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use scue_util::rng::Rng;
 
 /// Sentinel null pointer inside the region.
 const NIL: u64 = u64::MAX;
@@ -61,12 +60,12 @@ impl PmArray {
 
 /// The `array` workload: random persisted updates over a 16 MB array.
 pub fn array(scale: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let slots = 2 * 1024 * 1024; // 16 MB
     let mut arr = PmArray::new(slots);
     for _ in 0..scale {
         let index = rng.gen_range(0..slots);
-        arr.update(index, rng.gen());
+        arr.update(index, rng.next_u64());
     }
     arr.into_trace()
 }
@@ -149,11 +148,11 @@ impl PmQueue {
 
 /// The `queue` workload: mixed enqueue/dequeue bursts.
 pub fn queue(scale: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut q = PmQueue::new(64 * 1024);
     for _ in 0..scale {
         if rng.gen_bool(0.55) {
-            q.enqueue(rng.gen());
+            q.enqueue(rng.next_u64());
         } else {
             q.dequeue();
         }
@@ -260,7 +259,7 @@ impl PmHash {
 
 /// The `hash` workload: inserts and lookups, 2:1, over a 32 MB table.
 pub fn hash(scale: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut table = PmHash::new(2 * 1024 * 1024);
     let mut inserted: Vec<u64> = Vec::new();
     for _ in 0..scale {
@@ -322,7 +321,8 @@ impl PmBtree {
     }
 
     fn write_meta(&mut self, node: u64, count: usize, leaf: bool) {
-        self.pm.write_u64(node as usize, Self::meta(count as u64, leaf));
+        self.pm
+            .write_u64(node as usize, Self::meta(count as u64, leaf));
     }
 
     fn key_at(&mut self, node: u64, i: usize) -> u64 {
@@ -383,7 +383,11 @@ impl PmBtree {
         let mid = BT_MAX_KEYS / 2; // 3
         let (keep, move_count, sep_key) = if cleaf {
             // Leaves keep the separator (B+tree): left keeps mid+1 keys.
-            (mid + 1, BT_MAX_KEYS - (mid + 1), self.key_at(child, mid + 1))
+            (
+                mid + 1,
+                BT_MAX_KEYS - (mid + 1),
+                self.key_at(child, mid + 1),
+            )
         } else {
             (mid, BT_MAX_KEYS - mid - 1, self.key_at(child, mid))
         };
@@ -520,7 +524,7 @@ impl PmBtree {
 
 /// The `btree` workload: random inserts with occasional lookups.
 pub fn btree(scale: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut tree = PmBtree::new(4 * scale as u64 + 64);
     let mut inserted: Vec<u64> = Vec::new();
     for _ in 0..scale {
@@ -661,10 +665,17 @@ impl PmRbtree {
                 self.persist_node(cur);
                 return;
             }
-            cur = if key < ck { self.left(cur) } else { self.right(cur) };
+            cur = if key < ck {
+                self.left(cur)
+            } else {
+                self.right(cur)
+            };
         }
         let node = self.next_free;
-        assert!(node + RB_NODE_BYTES <= self.capacity, "rbtree region exhausted");
+        assert!(
+            node + RB_NODE_BYTES <= self.capacity,
+            "rbtree region exhausted"
+        );
         self.next_free += RB_NODE_BYTES;
         self.set_field(node, 0, key);
         self.set_field(node, 8, value);
@@ -759,7 +770,11 @@ impl PmRbtree {
             if key == ck {
                 return Some(self.field(cur, 8));
             }
-            cur = if key < ck { self.left(cur) } else { self.right(cur) };
+            cur = if key < ck {
+                self.left(cur)
+            } else {
+                self.right(cur)
+            };
         }
         None
     }
@@ -817,7 +832,7 @@ impl PmRbtree {
 
 /// The `rbtree` workload: random inserts with occasional lookups.
 pub fn rbtree(scale: usize, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::from_seed(seed);
     let mut tree = PmRbtree::new(scale as u64 + 64);
     let mut inserted: Vec<u64> = Vec::new();
     for _ in 0..scale {
@@ -909,7 +924,7 @@ mod tests {
 
     #[test]
     fn btree_random_inserts_stay_ordered() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::from_seed(3);
         let mut t = PmBtree::new(2048);
         let mut keys: Vec<u64> = (0..400).map(|_| rng.gen_range(1..1_000_000)).collect();
         for &k in &keys {
@@ -947,7 +962,7 @@ mod tests {
 
     #[test]
     fn rbtree_random_inserts() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::from_seed(5);
         let mut t = PmRbtree::new(2048);
         let mut keys: Vec<u64> = (0..500).map(|_| rng.gen_range(1..1_000_000)).collect();
         for &k in &keys {

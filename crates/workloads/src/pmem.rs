@@ -94,7 +94,9 @@ impl PmRegion {
         let first = offset / LINE_BYTES;
         let last = (offset + len.max(1) - 1) / LINE_BYTES;
         for line in first..=last {
-            self.trace.ops.push(MemOp::Persist(LineAddr::new(line as u64)));
+            self.trace
+                .ops
+                .push(MemOp::Persist(LineAddr::new(line as u64)));
         }
         self.trace.ops.push(MemOp::Fence);
     }

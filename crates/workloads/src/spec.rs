@@ -20,9 +20,8 @@
 
 use crate::trace::{MemOp, Trace};
 use crate::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use scue_nvm::LineAddr;
+use scue_util::rng::Rng;
 
 /// Access-pattern flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,7 +143,7 @@ pub fn profile(app: Workload) -> SpecProfile {
 /// Panics if `app` is one of the persistent workloads.
 pub fn generate(app: Workload, scale: usize, seed: u64) -> Trace {
     let p = profile(app);
-    let mut rng = StdRng::seed_from_u64(seed ^ (app as u64).wrapping_mul(0x9E37_79B9));
+    let mut rng = Rng::from_seed(seed ^ (app as u64).wrapping_mul(0x9E37_79B9));
     let mut trace = Trace::new(app.name());
     let mut cursor: u64 = rng.gen_range(0..p.footprint_lines);
     for _ in 0..scale {

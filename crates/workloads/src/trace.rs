@@ -105,6 +105,39 @@ impl Trace {
         stats
     }
 
+    /// Stable 64-bit FNV-1a fingerprint of the operation stream.
+    ///
+    /// A pure function of the ops (the name is excluded), byte-exact
+    /// across machines and builds. `tests/determinism.rs` pins the
+    /// fingerprints of every workload at a fixed `(scale, seed)`, which
+    /// is what makes the figures in `results/` reproducible: any change
+    /// to the generators or the PRNG that alters a trace trips the pin.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        let mut eat_u64 = |tag: u8, value: u64| {
+            eat(tag);
+            for byte in value.to_le_bytes() {
+                eat(byte);
+            }
+        };
+        for op in &self.ops {
+            match op {
+                MemOp::Load(a) => eat_u64(1, a.raw()),
+                MemOp::Store(a) => eat_u64(2, a.raw()),
+                MemOp::Persist(a) => eat_u64(3, a.raw()),
+                MemOp::Fence => eat_u64(4, 0),
+                MemOp::Compute(n) => eat_u64(5, *n as u64),
+            }
+        }
+        hash
+    }
+
     /// Number of operations.
     pub fn len(&self) -> usize {
         self.ops.len()

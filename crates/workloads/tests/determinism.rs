@@ -1,0 +1,60 @@
+//! Workload determinism pins: a fixed `(workload, scale, seed)` must
+//! produce a byte-identical trace on every machine, every build.
+//!
+//! The golden fingerprints below were produced by the in-repo
+//! SplitMix64/xoshiro256** PRNG (`scue_util::rng`) at the PRNG swap that
+//! made the workspace hermetic; they are the reference the figures in
+//! `results/` are reproducible against. If a deliberate generator change
+//! alters a trace, re-pin the constants and note it in the PR.
+
+use scue_workloads::Workload;
+
+const SCALE: usize = 2_000;
+const SEED: u64 = 1;
+
+#[test]
+fn traces_are_run_to_run_deterministic() {
+    for workload in Workload::ALL {
+        let a = workload.generate(SCALE, SEED);
+        let b = workload.generate(SCALE, SEED);
+        assert_eq!(a.ops, b.ops, "{workload}: same seed, different trace");
+        assert_ne!(
+            a.fingerprint(),
+            workload.generate(SCALE, SEED + 1).fingerprint(),
+            "{workload}: seed is ignored"
+        );
+    }
+}
+
+/// Golden fingerprints for `(scale = 2000, seed = 1)`; see module docs.
+const GOLDEN: [(&str, u64); 13] = [
+    ("array", 0x5FB6_A872_E5F4_A936),
+    ("btree", 0xBCE4_2991_F065_7C8C),
+    ("hash", 0x6454_DA81_9880_79F9),
+    ("queue", 0x7C56_41AE_AF90_8599),
+    ("rbtree", 0xEDCC_21E7_6A7D_D1FD),
+    ("lbm", 0xD5DF_BA89_618C_D91D),
+    ("mcf", 0x7496_192A_7675_0BDD),
+    ("libquantum", 0x0059_2B01_7277_C36A),
+    ("omnetpp", 0x1F7D_59DF_627C_76AA),
+    ("milc", 0x6596_FE0A_AC7E_8F1D),
+    ("soplex", 0xB06C_63F7_DC70_3782),
+    ("gcc", 0x9E4E_10D3_76FC_1C15),
+    ("bwaves", 0x0471_398F_5505_8A96),
+];
+
+#[test]
+fn trace_fingerprints_match_golden() {
+    assert_eq!(GOLDEN.len(), Workload::ALL.len());
+    for workload in Workload::ALL {
+        let got = workload.generate(SCALE, SEED).fingerprint();
+        let (_, want) = GOLDEN
+            .iter()
+            .find(|(name, _)| *name == workload.name())
+            .unwrap_or_else(|| panic!("{workload}: no golden fingerprint pinned"));
+        assert_eq!(
+            got, *want,
+            "{workload}: trace changed — fingerprint {got:#018X} vs pinned {want:#018X}"
+        );
+    }
+}

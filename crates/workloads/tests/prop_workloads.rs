@@ -2,7 +2,7 @@
 //! their std reference models for arbitrary operation sequences, and the
 //! traces they record stay well-formed.
 
-use proptest::prelude::*;
+use scue_util::prop::{self, prelude::*};
 use scue_workloads::generators::{PmBtree, PmHash, PmQueue, PmRbtree};
 use scue_workloads::{MemOp, Workload};
 use std::collections::{BTreeMap, VecDeque};
@@ -12,7 +12,7 @@ proptest! {
 
     /// B+tree == BTreeMap for arbitrary insert/update/lookup sequences.
     #[test]
-    fn btree_matches_btreemap(ops in proptest::collection::vec((1u64..500, any::<u64>()), 1..150)) {
+    fn btree_matches_btreemap(ops in prop::collection::vec((1u64..500, any::<u64>()), 1..150)) {
         let mut tree = PmBtree::new(4096);
         let mut reference = BTreeMap::new();
         for (key, value) in ops {
@@ -29,7 +29,7 @@ proptest! {
     /// Red-black tree == BTreeMap, and the colour invariants hold after
     /// every batch.
     #[test]
-    fn rbtree_matches_btreemap(ops in proptest::collection::vec((1u64..500, any::<u64>()), 1..150)) {
+    fn rbtree_matches_btreemap(ops in prop::collection::vec((1u64..500, any::<u64>()), 1..150)) {
         let mut tree = PmRbtree::new(4096);
         let mut reference = BTreeMap::new();
         for (key, value) in ops {
@@ -46,7 +46,7 @@ proptest! {
 
     /// Ring-buffer queue == VecDeque under mixed enqueue/dequeue.
     #[test]
-    fn queue_matches_vecdeque(ops in proptest::collection::vec(proptest::option::of(any::<u64>()), 1..200)) {
+    fn queue_matches_vecdeque(ops in prop::collection::vec(prop::option::of(any::<u64>()), 1..200)) {
         let mut queue = PmQueue::new(32);
         let mut reference: VecDeque<u64> = VecDeque::new();
         for op in ops {
@@ -68,7 +68,7 @@ proptest! {
 
     /// Hash table == BTreeMap (no key is ever lost or aliased).
     #[test]
-    fn hash_matches_map(ops in proptest::collection::vec((1u64..10_000, any::<u64>()), 1..200)) {
+    fn hash_matches_map(ops in prop::collection::vec((1u64..10_000, any::<u64>()), 1..200)) {
         let mut table = PmHash::new(1024);
         let mut reference = BTreeMap::new();
         for (key, value) in ops {

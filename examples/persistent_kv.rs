@@ -37,7 +37,10 @@ fn main() {
         results.push((scheme, result, system));
     }
     let base = results[0].1.cycles as f64;
-    println!("\n{:>9} | {:>12} | {:>9} | {:>14}", "scheme", "cycles", "slowdown", "mean wlat (cy)");
+    println!(
+        "\n{:>9} | {:>12} | {:>9} | {:>14}",
+        "scheme", "cycles", "slowdown", "mean wlat (cy)"
+    );
     for (scheme, result, _) in &results {
         println!(
             "{:>9} | {:>12} | {:>8.3}x | {:>14.1}",
@@ -63,7 +66,10 @@ fn main() {
     let engine = scue_system.engine_mut();
     let capsule = scue::attack::record_leaf(engine, 1);
     scue::attack::replay_leaf(engine, &capsule); // replay of *current* state…
-    assert!(engine.recover().outcome.is_success(), "replaying the current tuple is a no-op");
+    assert!(
+        engine.recover().outcome.is_success(),
+        "replaying the current tuple is a no-op"
+    );
     println!("replay of current state: correctly ignored (nothing rolled back)");
 
     // A replay of *stale* state is what the Recovery_root catches — see

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the SCUE workspace.
+#
+# The build is hermetic: zero crates-io dependencies, so everything runs
+# with --offline from a clean checkout (see DESIGN.md, "Zero external
+# dependencies"). This script is the documented tier-1 command; CI and
+# reviewers run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> verifying zero external dependencies"
+# Every line of `cargo tree` must be a workspace crate (scue*) or tree
+# drawing; any other crate name means a crates-io dependency crept in.
+if cargo tree --offline --workspace --edges normal,build,dev --prefix none \
+    | sort -u | grep -vE '^(scue|\s*$)' ; then
+    echo "ERROR: external dependency detected in cargo tree" >&2
+    exit 1
+fi
+
+echo "verify.sh: all checks passed"

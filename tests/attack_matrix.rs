@@ -19,9 +19,7 @@ fn prepared_machine(scheme: SchemeKind) -> (SecureMemory, ReplayCapsule) {
         }
     }
     let capsule = attack::record_leaf(&mem, 0);
-    now = mem
-        .persist_data(LineAddr::new(0), [0xEE; 64], now)
-        .unwrap();
+    now = mem.persist_data(LineAddr::new(0), [0xEE; 64], now).unwrap();
     mem.crash(now);
     (mem, capsule)
 }

@@ -27,11 +27,7 @@ fn scue_recovers_at_every_crash_point() {
     for workload in [Workload::Queue, Workload::Btree, Workload::Lbm] {
         for stop in CRASH_POINTS {
             let outcome = crash_at(SchemeKind::Scue, workload, stop);
-            assert_eq!(
-                outcome,
-                RecoveryOutcome::Clean,
-                "SCUE @ {workload}/{stop}"
-            );
+            assert_eq!(outcome, RecoveryOutcome::Clean, "SCUE @ {workload}/{stop}");
         }
     }
 }
