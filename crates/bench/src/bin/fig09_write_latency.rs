@@ -2,9 +2,18 @@
 //!
 //! Paper reference (averages): PLP 2.74×, Lazy 1.29×, BMF-ideal 1.21×,
 //! SCUE 1.12×.
+//!
+//! Besides the normalised table, the harness prints the raw
+//! write-latency percentiles each scheme produced and writes a
+//! machine-readable twin to `results/fig09_write_latency.json`.
 
-use scue_bench::{banner, parallel_sweep, print_scheme_table, scale, seed};
-use scue_sim::experiment::{scheme_comparison_row, Metric};
+use scue::SchemeKind;
+use scue_bench::{
+    banner, figure_doc, parallel_sweep, print_latency_percentile_table, print_scheme_table,
+    rows_to_json, scale, seed, write_figure_json,
+};
+use scue_sim::experiment::{mean_of, scheme_comparison_row, Metric};
+use scue_util::obs::Json;
 use scue_workloads::Workload;
 
 fn main() {
@@ -14,5 +23,16 @@ fn main() {
     });
     print_scheme_table(&rows);
     println!();
+    print_latency_percentile_table(&rows);
+    println!();
     println!("paper means: PLP 2.74, Lazy 1.29, BMF-ideal 1.21, SCUE 1.12");
+
+    let mut means = Json::obj();
+    for scheme in SchemeKind::FIGURE_SCHEMES {
+        means.set(scheme.name(), Json::F64(mean_of(&rows, scheme)));
+    }
+    let doc = figure_doc("scue-fig09-write-latency")
+        .with("rows", rows_to_json(&rows))
+        .with("means", means);
+    write_figure_json("fig09_write_latency", &doc);
 }

@@ -36,5 +36,19 @@ fn main() {
     }
     println!();
     println!();
+    println!("raw SCUE write-latency percentiles, cycles (p50/p95/p99):");
+    print!("{:>12}", "workload");
+    for lat in PAPER_HASH_LATENCIES {
+        print!(" {:>14}", format!("{lat}_hash"));
+    }
+    println!();
+    for row in &rows {
+        print!("{:>12}", row.workload.name());
+        for (_, s) in &row.summaries {
+            print!(" {:>14}", format!("{}/{}/{}", s.p50, s.p95, s.p99));
+        }
+        println!();
+    }
+    println!();
     println!("paper: 1.20x mean (max 1.36x) at 160 cycles");
 }

@@ -8,10 +8,30 @@
 //! The analytic model is cross-checked against a *measured* full
 //! counter-summing recovery on a live machine image.
 
-use scue::fastrec::{recovery_cost, FastRecovery, FIG13_CACHE_SIZES};
+use scue::fastrec::{recovery_cost, FastRecovery, RecoveryCost, FIG13_CACHE_SIZES};
 use scue::{SchemeKind, SecureMemConfig, SecureMemory};
-use scue_bench::banner;
+use scue_bench::{banner, figure_doc, write_figure_json};
 use scue_nvm::LineAddr;
+use scue_util::obs::Json;
+
+fn cost_json(cost: &RecoveryCost) -> Json {
+    let phase = |fetches: u64, ns: u64| {
+        Json::obj()
+            .with("fetches", Json::U64(fetches))
+            .with("ns", Json::U64(ns))
+    };
+    let p = &cost.phases;
+    Json::obj()
+        .with("fetches", Json::U64(cost.fetches))
+        .with("time_s", Json::F64(cost.time_s()))
+        .with(
+            "phases",
+            Json::obj()
+                .with("scan", phase(p.scan_fetches, p.scan_ns()))
+                .with("counter_summing", phase(p.summing_fetches, p.summing_ns()))
+                .with("re_hash", phase(p.rehash_fetches, p.rehash_ns())),
+        )
+}
 
 fn main() {
     banner("Fig. 13 — recovery time vs. metadata cache size");
@@ -52,4 +72,36 @@ fn main() {
         report.modelled_ns as f64 / 1e6,
         report.outcome
     );
+
+    let points = Json::Arr(
+        FIG13_CACHE_SIZES
+            .iter()
+            .map(|&bytes| {
+                let star = recovery_cost(FastRecovery::Star, bytes);
+                let agit = recovery_cost(FastRecovery::Agit, bytes);
+                Json::obj()
+                    .with("mdcache_bytes", Json::U64(bytes))
+                    .with("stale_nodes", Json::U64(star.stale_nodes))
+                    .with("scue_star", cost_json(&star))
+                    .with("scue_agit", cost_json(&agit))
+            })
+            .collect(),
+    );
+    let rp = report.phases;
+    let measured = Json::obj()
+        .with("outcome", Json::Str(format!("{:?}", report.outcome)))
+        .with("leaves_checked", Json::U64(report.leaves_checked))
+        .with("metadata_fetches", Json::U64(report.metadata_fetches))
+        .with("modelled_ns", Json::U64(report.modelled_ns))
+        .with(
+            "phase_fetches",
+            Json::obj()
+                .with("scan", Json::U64(rp.scan_fetches))
+                .with("counter_summing", Json::U64(rp.summing_fetches))
+                .with("re_hash", Json::U64(rp.rehash_fetches)),
+        );
+    let doc = figure_doc("scue-fig13-recovery-time")
+        .with("points", points)
+        .with("measured_full_reconstruction", measured);
+    write_figure_json("fig13_recovery_time", &doc);
 }

@@ -11,7 +11,11 @@
 
 use scue::SchemeKind;
 use scue_sim::experiment::WorkloadRow;
+use scue_util::obs::Json;
 use scue_workloads::Workload;
+
+/// Schema version stamped into every figure-twin JSON document.
+pub const FIGURE_SCHEMA_VERSION: u64 = 1;
 
 /// Trace length per workload (ops), from `SCUE_SCALE` (default 60 000).
 pub fn scale() -> usize {
@@ -89,6 +93,80 @@ pub fn print_scheme_table(rows: &[WorkloadRow]) {
     println!();
 }
 
+/// Prints the raw write-latency percentile table (cycles) that
+/// accompanies a Fig. 9-style normalised table: one `p50/p95/p99` cell
+/// per scheme, Baseline included.
+pub fn print_latency_percentile_table(rows: &[WorkloadRow]) {
+    let schemes: Vec<SchemeKind> = std::iter::once(SchemeKind::Baseline)
+        .chain(SchemeKind::FIGURE_SCHEMES)
+        .collect();
+    println!("write-latency percentiles, cycles (p50/p95/p99):");
+    print!("{:>12}", "workload");
+    for scheme in &schemes {
+        print!(" {:>14}", scheme.name());
+    }
+    println!();
+    for row in rows {
+        print!("{:>12}", row.workload.name());
+        for scheme in &schemes {
+            match row.summary(*scheme) {
+                Some(s) => print!(" {:>14}", format!("{}/{}/{}", s.p50, s.p95, s.p99)),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Writes a figure's machine-readable twin to
+/// `results/<name>.json` (the directory rules of
+/// [`scue_util::bench::results_dir`] apply) and prints the path.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written.
+pub fn write_figure_json(name: &str, doc: &Json) {
+    let dir = scue_util::bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, doc.render_doc()).expect("write figure json");
+    println!("wrote {}", path.display());
+}
+
+/// The shared skeleton of a figure-twin document: schema version, kind
+/// tag and the run parameters.
+pub fn figure_doc(kind: &str) -> Json {
+    Json::obj()
+        .with("schema_version", Json::U64(FIGURE_SCHEMA_VERSION))
+        .with("kind", Json::Str(kind.to_string()))
+        .with("scale", Json::U64(scale() as u64))
+        .with("seed", Json::U64(seed()))
+}
+
+/// Serialises scheme-comparison rows (normalised values + raw latency
+/// digests) for a figure twin.
+pub fn rows_to_json(rows: &[WorkloadRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut normalized = Json::obj();
+                for (scheme, v) in &row.normalized {
+                    normalized.set(scheme.name(), Json::F64(*v));
+                }
+                let mut percentiles = Json::obj();
+                for (scheme, summary) in &row.summaries {
+                    percentiles.set(scheme.name(), summary.to_json());
+                }
+                Json::obj()
+                    .with("workload", Json::Str(row.workload.name().to_string()))
+                    .with("baseline_raw", Json::F64(row.baseline_raw))
+                    .with("normalized", normalized)
+                    .with("write_latency_cycles", percentiles)
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +184,40 @@ mod tests {
         let workloads = [Workload::Array, Workload::Mcf, Workload::Queue];
         let names = parallel_sweep(&workloads, |w| w.name().to_string());
         assert_eq!(names, vec!["array", "mcf", "queue"]);
+    }
+
+    #[test]
+    fn figure_json_round_trips() {
+        use scue_sim::experiment::LatencySummary;
+        let row = WorkloadRow {
+            workload: Workload::Array,
+            baseline_raw: 450.0,
+            normalized: vec![(SchemeKind::Scue, 1.05)],
+            summaries: vec![(
+                SchemeKind::Scue,
+                LatencySummary {
+                    mean: 476.0,
+                    p50: 476,
+                    p95: 476,
+                    p99: 476,
+                    max: 476,
+                },
+            )],
+        };
+        let doc = figure_doc("scue-test").with("rows", rows_to_json(&[row]));
+        let parsed = Json::parse(&doc.render_doc()).expect("figure twin must parse");
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_u64),
+            Some(FIGURE_SCHEMA_VERSION)
+        );
+        let rows = parsed.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            rows[0]
+                .get("write_latency_cycles")
+                .and_then(|p| p.get("SCUE"))
+                .and_then(|s| s.get("p99"))
+                .and_then(Json::as_u64),
+            Some(476)
+        );
     }
 }

@@ -22,5 +22,5 @@ pub mod metadata;
 pub mod set_assoc;
 
 pub use hierarchy::{DataHierarchy, HierarchyConfig, MemSide};
-pub use metadata::MetadataCache;
+pub use metadata::{MdCacheStats, MetadataCache};
 pub use set_assoc::{Eviction, SetAssocCache};

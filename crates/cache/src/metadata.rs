@@ -14,6 +14,32 @@
 use crate::set_assoc::{Eviction, SetAssocCache};
 use scue_nvm::LineAddr;
 
+/// Metadata-cache lookup/fill statistics.
+///
+/// Replaces the old anonymous `(hits, misses, fills)` tuple so call
+/// sites read as `stats.hits` rather than `stats.0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MdCacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Total line fills (inserts), including refills after eviction.
+    pub fills: u64,
+}
+
+impl MdCacheStats {
+    /// Hit fraction of all lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// The metadata cache in the memory controller.
 ///
 /// A thin policy wrapper over [`SetAssocCache`] with hardware-style byte
@@ -114,10 +140,14 @@ impl<V> MetadataCache<V> {
         self.inner.iter()
     }
 
-    /// (lookup hits, lookup misses, total fills).
-    pub fn stats(&self) -> (u64, u64, u64) {
-        let (h, m) = self.inner.stats();
-        (h, m, self.fills)
+    /// Lookup and fill statistics.
+    pub fn stats(&self) -> MdCacheStats {
+        let (hits, misses) = self.inner.stats();
+        MdCacheStats {
+            hits,
+            misses,
+            fills: self.fills,
+        }
     }
 }
 
@@ -161,8 +191,18 @@ mod tests {
         let mut mdc: MetadataCache<u8> = MetadataCache::with_bytes(2 * 64, 2);
         mdc.insert(LineAddr::new(0), 1, false);
         mdc.insert(LineAddr::new(1), 2, false);
-        let (_, _, fills) = mdc.stats();
-        assert_eq!(fills, 2);
+        assert_eq!(mdc.stats().fills, 2);
+    }
+
+    #[test]
+    fn hit_rate_edge_cases() {
+        assert_eq!(MdCacheStats::default().hit_rate(), 0.0);
+        let s = MdCacheStats {
+            hits: 3,
+            misses: 1,
+            fills: 0,
+        };
+        assert_eq!(s.hit_rate(), 0.75);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub fn record_leaf(mem: &SecureMemory, leaf_index: u64) -> ReplayCapsule {
 /// old line **and** old MAC — self-consistent, only the root sum can
 /// tell).
 pub fn replay_leaf(mem: &mut SecureMemory, capsule: &ReplayCapsule) {
+    mem.note_tamper(capsule.addr, "replay");
     mem.store_mut().tamper_line(capsule.addr, capsule.line);
     mem.sideband_mut().tamper(capsule.addr, capsule.mac);
 }
@@ -72,6 +73,7 @@ pub fn roll_forward_leaf(mem: &mut SecureMemory, leaf_index: u64, minor: usize) 
         .node_addr(NodeId::new(0, leaf_index));
     let mut block = CounterBlock::from_line(&mem.store().read_line(addr));
     block.increment(minor).expect("attack minor index in range");
+    mem.note_tamper(addr, "roll-forward");
     mem.store_mut().tamper_line(addr, block.to_line());
 }
 
@@ -79,6 +81,7 @@ pub fn roll_forward_leaf(mem: &mut SecureMemory, leaf_index: u64, minor: usize) 
 /// line with the old content but keeps the current (newer) MAC — the
 /// non-replay roll-back of Table I.
 pub fn roll_back_leaf(mem: &mut SecureMemory, capsule: &ReplayCapsule) {
+    mem.note_tamper(capsule.addr, "roll-back");
     mem.store_mut().tamper_line(capsule.addr, capsule.line);
     // MAC sideband left as-is: new MAC over old counters cannot verify.
 }
@@ -104,6 +107,7 @@ pub fn corrupt_line(mem: &mut SecureMemory, addr: LineAddr, xor_mask: u8) {
     for byte in &mut line {
         *byte ^= xor_mask;
     }
+    mem.note_tamper(addr, "corrupt");
     mem.store_mut().tamper_line(addr, line);
 }
 

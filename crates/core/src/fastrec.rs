@@ -19,7 +19,7 @@
 //! (AGIT) endpoints; scaling is linear in the tracked stale set exactly
 //! as in the paper's model.
 
-use crate::recovery::RECOVERY_FETCH_NS;
+use crate::recovery::{RecoveryPhases, RECOVERY_FETCH_NS};
 
 /// Fetches per stale node for SCUE-STAR: its 8 children (dummy-counter
 /// reconstruction is child-reads only; the bitmap is read once per 512
@@ -70,6 +70,9 @@ pub struct RecoveryCost {
     pub fetches: u64,
     /// Modelled recovery time in nanoseconds.
     pub time_ns: u64,
+    /// Where the fetches go, phase by phase (partitions `fetches`, so
+    /// the per-phase times sum to `time_ns`).
+    pub phases: RecoveryPhases,
 }
 
 impl RecoveryCost {
@@ -95,16 +98,30 @@ impl RecoveryCost {
 /// ```
 pub fn recovery_cost(flavour: FastRecovery, mdcache_bytes: u64) -> RecoveryCost {
     let stale_nodes = mdcache_bytes / 64;
-    let fetches = match flavour {
-        FastRecovery::Star => {
-            stale_nodes * STAR_FETCHES_PER_NODE + stale_nodes.div_ceil(STAR_NODES_PER_BITMAP_LINE)
-        }
-        FastRecovery::Agit => stale_nodes * AGIT_FETCHES_PER_NODE,
+    let phases = match flavour {
+        FastRecovery::Star => RecoveryPhases {
+            // Scan: read the stale-set bitmap (one line per 512 nodes).
+            scan_fetches: stale_nodes.div_ceil(STAR_NODES_PER_BITMAP_LINE),
+            // Counter-summing: 8 child reads per stale node; the rebuilt
+            // node stays on chip (no write-back in STAR's model).
+            summing_fetches: stale_nodes * STAR_FETCHES_PER_NODE,
+            rehash_fetches: 0,
+        },
+        FastRecovery::Agit => RecoveryPhases {
+            // Scan: one shadow-table entry read per stale node.
+            scan_fetches: stale_nodes,
+            // Counter-summing: 8 child + 8 sibling + 8 grandchild reads.
+            summing_fetches: stale_nodes * (AGIT_FETCHES_PER_NODE - 2),
+            // Re-hash: write back each rebuilt node with its fresh MAC.
+            rehash_fetches: stale_nodes,
+        },
     };
+    let fetches = phases.total_fetches();
     RecoveryCost {
         stale_nodes,
         fetches,
         time_ns: fetches * RECOVERY_FETCH_NS,
+        phases,
     }
 }
 
@@ -149,6 +166,33 @@ mod tests {
             assert!(agit.time_ns > star.time_ns);
             assert_eq!(star.stale_nodes, agit.stale_nodes);
         }
+    }
+
+    #[test]
+    fn phases_partition_fetches() {
+        for flavour in [FastRecovery::Star, FastRecovery::Agit] {
+            for bytes in FIG13_CACHE_SIZES {
+                let c = recovery_cost(flavour, bytes);
+                assert_eq!(c.phases.total_fetches(), c.fetches, "{flavour} {bytes}");
+                assert_eq!(
+                    c.phases.scan_ns() + c.phases.summing_ns() + c.phases.rehash_ns(),
+                    c.time_ns
+                );
+            }
+        }
+        // AGIT pays a write-back phase; STAR does not.
+        assert_eq!(
+            recovery_cost(FastRecovery::Star, 1 << 20)
+                .phases
+                .rehash_fetches,
+            0
+        );
+        assert!(
+            recovery_cost(FastRecovery::Agit, 1 << 20)
+                .phases
+                .rehash_fetches
+                > 0
+        );
     }
 
     #[test]

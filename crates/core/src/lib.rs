@@ -61,5 +61,5 @@ pub mod stats;
 
 pub use config::{SchemeKind, SecureMemConfig};
 pub use engine::{IntegrityError, SecureMemory};
-pub use recovery::{RecoveryOutcome, RecoveryReport};
-pub use stats::EngineStats;
+pub use recovery::{RecoveryOutcome, RecoveryPhases, RecoveryReport};
+pub use stats::{EngineStats, LatencyStats};

@@ -66,6 +66,47 @@ impl RecoveryOutcome {
     }
 }
 
+/// Per-phase breakdown of one recovery attempt's metadata fetches.
+///
+/// The three phases mirror Fig. 8: **scan** (enumerate and read touched
+/// leaves from the NVM image), **counter-summing** (verify leaf HMACs
+/// against reconstructed parents and sum levels upward — on-chip work,
+/// charged any extra fetches it performs), and **re-hash** (install
+/// rebuilt intermediate nodes with fresh MACs). Fetch counts partition
+/// [`RecoveryReport::metadata_fetches`] exactly, so the per-phase times
+/// sum to [`RecoveryReport::modelled_ns`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryPhases {
+    /// Fetches spent scanning/reading touched leaves.
+    pub scan_fetches: u64,
+    /// Extra fetches charged to leaf verification + counter summing.
+    pub summing_fetches: u64,
+    /// Fetches spent rebuilding and re-MACing intermediate nodes.
+    pub rehash_fetches: u64,
+}
+
+impl RecoveryPhases {
+    /// Modelled scan-phase time, ns.
+    pub fn scan_ns(&self) -> u64 {
+        self.scan_fetches * RECOVERY_FETCH_NS
+    }
+
+    /// Modelled counter-summing time, ns.
+    pub fn summing_ns(&self) -> u64 {
+        self.summing_fetches * RECOVERY_FETCH_NS
+    }
+
+    /// Modelled re-hash/install time, ns.
+    pub fn rehash_ns(&self) -> u64 {
+        self.rehash_fetches * RECOVERY_FETCH_NS
+    }
+
+    /// Total fetches across all phases.
+    pub fn total_fetches(&self) -> u64 {
+        self.scan_fetches + self.summing_fetches + self.rehash_fetches
+    }
+}
+
 /// The result of one recovery attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -77,15 +118,19 @@ pub struct RecoveryReport {
     pub metadata_fetches: u64,
     /// Modelled wall-clock recovery time (fetches × 100 ns, §V-D).
     pub modelled_ns: u64,
+    /// Where the fetches (and hence the time) went, phase by phase.
+    pub phases: RecoveryPhases,
 }
 
 impl RecoveryReport {
-    fn new(outcome: RecoveryOutcome, leaves_checked: u64, metadata_fetches: u64) -> Self {
+    fn new(outcome: RecoveryOutcome, leaves_checked: u64, phases: RecoveryPhases) -> Self {
+        let metadata_fetches = phases.total_fetches();
         Self {
             outcome,
             leaves_checked,
             metadata_fetches,
             modelled_ns: metadata_fetches * RECOVERY_FETCH_NS,
+            phases,
         }
     }
 }
@@ -94,7 +139,9 @@ impl RecoveryReport {
 /// [`SecureMemory::recover`].
 pub(crate) fn run(mem: &mut SecureMemory) -> RecoveryReport {
     match mem.scheme() {
-        SchemeKind::Baseline => RecoveryReport::new(RecoveryOutcome::Unverified, 0, 0),
+        SchemeKind::Baseline => {
+            RecoveryReport::new(RecoveryOutcome::Unverified, 0, RecoveryPhases::default())
+        }
         SchemeKind::BmfIdeal => recover_bmf(mem),
         SchemeKind::Lazy | SchemeKind::Eager | SchemeKind::Plp | SchemeKind::Scue => {
             recover_counter_summing(mem)
@@ -135,11 +182,21 @@ fn recover_bmf(mem: &mut SecureMemory) -> RecoveryReport {
             return RecoveryReport::new(
                 RecoveryOutcome::LeafMacMismatch { leaf: index },
                 leaves_checked,
-                leaves_checked,
+                RecoveryPhases {
+                    scan_fetches: leaves_checked,
+                    ..Default::default()
+                },
             );
         }
     }
-    RecoveryReport::new(RecoveryOutcome::Clean, leaves_checked, leaves_checked)
+    RecoveryReport::new(
+        RecoveryOutcome::Clean,
+        leaves_checked,
+        RecoveryPhases {
+            scan_fetches: leaves_checked,
+            ..Default::default()
+        },
+    )
 }
 
 /// The SIT counter-summing reconstruction of Fig. 8.
@@ -162,10 +219,14 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
         }
     }
     let leaves_checked = leaves.len() as u64;
-    let mut fetches = leaves_checked;
+    let mut phases = RecoveryPhases {
+        scan_fetches: leaves_checked,
+        ..Default::default()
+    };
 
     // Steps 1–2: reconstruct Level-1 counters as leaf dummies and verify
-    // every leaf HMAC against them.
+    // every leaf HMAC against them. On-chip work over already-scanned
+    // leaves: no additional fetches.
     for (&index, block) in &leaves {
         let leaf = NodeId::new(0, index);
         let dummy = ctx.leaf_dummy(block);
@@ -174,7 +235,7 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
             return RecoveryReport::new(
                 RecoveryOutcome::LeafMacMismatch { leaf: index },
                 leaves_checked,
-                fetches,
+                phases,
             );
         }
     }
@@ -209,13 +270,13 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
         _ => running_root,
     };
     if rebuilt_root != *trusted {
-        return RecoveryReport::new(RecoveryOutcome::RootMismatch, leaves_checked, fetches);
+        return RecoveryReport::new(RecoveryOutcome::RootMismatch, leaves_checked, phases);
     }
 
     // Success: install the reconstructed nodes (with fresh MACs keyed by
     // their own dummies, the uniform convention) and synchronise roots.
     for (node_id, mut node) in rebuilt_nodes {
-        fetches += 1;
+        phases.rehash_fetches += 1;
         if node.counter_sum() == 0 {
             continue;
         }
@@ -225,7 +286,7 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
     }
     *running_root = rebuilt_root;
     *recovery_root = rebuilt_root;
-    RecoveryReport::new(RecoveryOutcome::Clean, leaves_checked, fetches)
+    RecoveryReport::new(RecoveryOutcome::Clean, leaves_checked, phases)
 }
 
 #[cfg(test)]
@@ -373,6 +434,24 @@ mod tests {
         let now = run_writes(&mut m, 40);
         m.crash(now);
         assert_eq!(m.recover().outcome, RecoveryOutcome::RootMismatch);
+    }
+
+    #[test]
+    fn phase_breakdown_partitions_totals() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let now = run_writes(&mut m, 50);
+        m.crash(now);
+        let report = m.recover();
+        assert_eq!(report.outcome, RecoveryOutcome::Clean);
+        let p = report.phases;
+        assert_eq!(p.total_fetches(), report.metadata_fetches);
+        assert_eq!(
+            p.scan_ns() + p.summing_ns() + p.rehash_ns(),
+            report.modelled_ns,
+            "phase times must sum to the modelled total"
+        );
+        assert_eq!(p.scan_fetches, report.leaves_checked);
+        assert!(p.rehash_fetches > 0, "nodes were rebuilt");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::addr::{Cycle, LineAddr};
 use crate::store::{Line, NvmStore};
 use crate::timing::{PcmDevice, PcmTiming};
-use crate::wpq::{Enqueued, WritePendingQueue};
+use crate::wpq::{Enqueued, WpqStats, WritePendingQueue};
 
 /// What a memory access carries — the paper separates user-data traffic
 /// from security-metadata traffic throughout the evaluation (§V-E).
@@ -198,9 +198,15 @@ impl MemoryController {
         &self.device
     }
 
-    /// WPQ statistics: `(user (enqueued, stalls, peak), metadata (...))`.
-    pub fn wpq_stats(&self) -> ((u64, u64, usize), (u64, u64, usize)) {
+    /// WPQ statistics: `(user queue, metadata queue)`.
+    pub fn wpq_stats(&self) -> (WpqStats, WpqStats) {
         (self.user_wpq.stats(), self.meta_wpq.stats())
+    }
+
+    /// In-flight entries of each WPQ at `now`: `(user, metadata)` — the
+    /// occupancy gauge sampled into epoch time-series.
+    pub fn wpq_occupancy(&self, now: Cycle) -> (usize, usize) {
+        (self.user_wpq.occupancy(now), self.meta_wpq.occupancy(now))
     }
 }
 
@@ -272,8 +278,8 @@ mod tests {
         for i in 0..8 {
             mc.write(LineAddr::new(i * 4), [1; 64], 0, AccessKind::Metadata);
         }
-        let ((_, user_stalls, _), (_, meta_stalls, _)) = mc.wpq_stats();
-        assert_eq!(user_stalls, 0);
-        assert!(meta_stalls > 0);
+        let (user, meta) = mc.wpq_stats();
+        assert_eq!(user.full_stalls, 0);
+        assert!(meta.full_stalls > 0);
     }
 }

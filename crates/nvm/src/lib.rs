@@ -34,3 +34,5 @@ pub mod wpq;
 pub use addr::{Cycle, LineAddr, LINE_BYTES};
 pub use controller::{AccessKind, MemStats, MemoryController};
 pub use store::NvmStore;
+pub use timing::PcmCounters;
+pub use wpq::WpqStats;

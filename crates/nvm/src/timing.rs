@@ -99,6 +99,19 @@ impl Bank {
     }
 }
 
+/// Lifetime access counters for a [`PcmDevice`].
+///
+/// Replaces the old anonymous `(reads, writes, row_hits)` tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcmCounters {
+    /// Read transactions scheduled.
+    pub reads: u64,
+    /// Write transactions scheduled.
+    pub writes: u64,
+    /// Accesses that hit an open row buffer.
+    pub row_hits: u64,
+}
+
 /// The banked PCM device timing engine.
 ///
 /// # Example
@@ -155,9 +168,13 @@ impl PcmDevice {
         &self.timing
     }
 
-    /// Lifetime (reads, writes, row-buffer hits).
-    pub fn counters(&self) -> (u64, u64, u64) {
-        (self.reads, self.writes, self.row_hits)
+    /// Lifetime access counters.
+    pub fn counters(&self) -> PcmCounters {
+        PcmCounters {
+            reads: self.reads,
+            writes: self.writes,
+            row_hits: self.row_hits,
+        }
     }
 
     fn bank_and_row(&self, addr: LineAddr) -> (usize, u64) {
@@ -357,8 +374,8 @@ mod tests {
         let mut d = dev();
         d.schedule_read(LineAddr::new(0), 0);
         d.schedule_write(LineAddr::new(0), 0);
-        let (r, w, _) = d.counters();
-        assert_eq!((r, w), (1, 1));
+        let c = d.counters();
+        assert_eq!((c.reads, c.writes), (1, 1));
     }
 
     #[test]

@@ -21,6 +21,22 @@ pub struct Enqueued {
     pub drained: Cycle,
 }
 
+/// Lifetime statistics for one write-pending queue.
+///
+/// Replaces the old anonymous `(enqueued, full_stalls, max_occupancy)`
+/// tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WpqStats {
+    /// Total writes enqueued (including coalesced ones).
+    pub enqueued: u64,
+    /// Enqueues that stalled on a full queue.
+    pub full_stalls: u64,
+    /// Peak simultaneous occupancy.
+    pub max_occupancy: usize,
+    /// Writes that merged into an already-pending entry.
+    pub coalesced: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     addr: LineAddr,
@@ -80,9 +96,14 @@ impl WritePendingQueue {
         self.entries.iter().filter(|e| e.drained > now).count()
     }
 
-    /// (total enqueued, enqueues that stalled on a full queue, peak occupancy).
-    pub fn stats(&self) -> (u64, u64, usize) {
-        (self.enqueued, self.full_stalls, self.max_occupancy)
+    /// Lifetime queue statistics.
+    pub fn stats(&self) -> WpqStats {
+        WpqStats {
+            enqueued: self.enqueued,
+            full_stalls: self.full_stalls,
+            max_occupancy: self.max_occupancy,
+            coalesced: self.coalesced,
+        }
     }
 
     /// Writes that merged into an already-pending entry.
@@ -177,10 +198,10 @@ mod tests {
             c.accepted, a.drained,
             "third write waits for the oldest drain"
         );
-        let (enq, stalls, peak) = wpq.stats();
-        assert_eq!(enq, 3);
-        assert_eq!(stalls, 1);
-        assert_eq!(peak, 2);
+        let s = wpq.stats();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.full_stalls, 1);
+        assert_eq!(s.max_occupancy, 2);
     }
 
     #[test]
@@ -191,8 +212,7 @@ mod tests {
         // Arrive long after the first write drained: no stall.
         let b = wpq.enqueue(LineAddr::new(64), a.drained + 10_000, &mut dev);
         assert_eq!(b.accepted, a.drained + 10_000);
-        let (_, stalls, _) = wpq.stats();
-        assert_eq!(stalls, 0);
+        assert_eq!(wpq.stats().full_stalls, 0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ proptest! {
             // already scheduled, so `drained` may precede `accepted` only
             // never — both still respect causality from arrival.
             prop_assert!(e.drained >= now, "drain after arrival");
-            let (_, _, peak) = wpq.stats();
+            let peak = wpq.stats().max_occupancy;
             prop_assert!(peak <= capacity, "occupancy bounded by capacity");
         }
     }
@@ -122,7 +122,7 @@ fn wpq_regression_same_cycle_burst() {
         let e = wpq.enqueue(LineAddr::new(addr), now, &mut dev);
         assert!(e.accepted >= now, "cannot accept before arrival");
         assert!(e.drained >= now, "drain after arrival");
-        let (_, _, peak) = wpq.stats();
+        let peak = wpq.stats().max_occupancy;
         assert!(peak <= capacity, "occupancy bounded by capacity");
     }
 }

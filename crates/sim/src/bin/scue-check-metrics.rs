@@ -1,0 +1,98 @@
+//! `scue-check-metrics` — validate a `scue-simulate --metrics-json`
+//! document without any external tooling (the pure-Rust stand-in for
+//! `jq` in `scripts/verify.sh`).
+//!
+//! ```text
+//! scue-check-metrics PATH
+//! ```
+//!
+//! Exits 0 when the file parses as JSON, carries the expected schema
+//! version, contains every required section, and its write-latency
+//! percentiles are ordered (`p50 <= p95 <= p99 <= max`). Prints the
+//! first violation and exits 1 otherwise.
+
+use scue_sim::METRICS_SCHEMA_VERSION;
+use scue_util::obs::Json;
+
+/// Sections every metrics document must carry.
+const REQUIRED_SECTIONS: [&str; 10] = [
+    "schema_version",
+    "config",
+    "totals",
+    "write_latency",
+    "read_latency",
+    "mem",
+    "mdcache",
+    "wpq",
+    "counters",
+    "series",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scue-check-metrics: {msg}");
+    std::process::exit(1);
+}
+
+fn check(doc: &Json) -> Result<(), String> {
+    for key in REQUIRED_SECTIONS {
+        if doc.get(key).is_none() {
+            return Err(format!("missing required section `{key}`"));
+        }
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != METRICS_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {METRICS_SCHEMA_VERSION}"
+        ));
+    }
+    for section in ["write_latency", "read_latency"] {
+        let lat = doc.get(section).ok_or("unreachable")?;
+        let quantile = |name: &str| {
+            lat.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{section}.{name} is not an integer"))
+        };
+        let (p50, p95, p99, max) = (
+            quantile("p50")?,
+            quantile("p95")?,
+            quantile("p99")?,
+            quantile("max")?,
+        );
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(format!(
+                "{section} percentiles out of order: p50={p50} p95={p95} p99={p99} max={max}"
+            ));
+        }
+    }
+    doc.get("series")
+        .and_then(Json::as_arr)
+        .ok_or("series is not an array")?;
+    doc.get("mdcache")
+        .and_then(|m| m.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .ok_or("mdcache.hit_rate is not a number")?;
+    Ok(())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: scue-check-metrics PATH");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path}: invalid JSON: {e}")),
+    };
+    if let Err(msg) = check(&doc) {
+        fail(&format!("{path}: {msg}"));
+    }
+    println!("{path}: ok (schema v{METRICS_SCHEMA_VERSION})");
+}

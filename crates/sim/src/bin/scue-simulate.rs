@@ -1,15 +1,24 @@
 //! `scue-simulate` — run any workload under any scheme from the command
-//! line, with optional crash/recovery and multi-core fan-out.
+//! line, with optional crash/recovery, multi-core fan-out and
+//! machine-readable metrics export.
 //!
 //! ```text
 //! scue-simulate [--scheme SCHEME] [--workload NAME] [--ops N]
 //!               [--seed N] [--hash-latency CYC] [--cores N]
 //!               [--crash-at CYCLE] [--eadr]
+//!               [--metrics-json PATH] [--trace-events PATH]
+//!               [--sample-interval CYCLES]
 //! ```
 
 use scue::{SchemeKind, SecureMemConfig};
-use scue_sim::{System, SystemConfig};
+use scue_sim::{ReportConfig, RunReport, System, SystemConfig};
 use scue_workloads::{Trace, Workload};
+
+/// Default epoch length when sampling is on but no interval was given.
+const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
+
+/// Event ring-buffer capacity when `--trace-events` is set.
+const TRACE_CAPACITY: usize = 1 << 16;
 
 #[derive(Debug)]
 struct Args {
@@ -21,6 +30,9 @@ struct Args {
     cores: usize,
     crash_at: Option<u64>,
     eadr: bool,
+    metrics_json: Option<String>,
+    trace_events: Option<String>,
+    sample_interval: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -29,6 +41,8 @@ fn usage() -> ! {
     eprintln!("                      libquantum|omnetpp|milc|soplex|gcc|bwaves]");
     eprintln!("                     [--ops N] [--seed N] [--hash-latency 20|40|80|160]");
     eprintln!("                     [--cores N] [--crash-at CYCLE] [--eadr]");
+    eprintln!("                     [--metrics-json PATH] [--trace-events PATH]");
+    eprintln!("                     [--sample-interval CYCLES]");
     std::process::exit(2);
 }
 
@@ -60,6 +74,9 @@ fn parse_args() -> Args {
         cores: 1,
         crash_at: None,
         eadr: false,
+        metrics_json: None,
+        trace_events: None,
+        sample_interval: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,11 +98,43 @@ fn parse_args() -> Args {
                 args.crash_at = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
             }
             "--eadr" => args.eadr = true,
+            "--metrics-json" => args.metrics_json = Some(value(&mut it)),
+            "--trace-events" => args.trace_events = Some(value(&mut it)),
+            "--sample-interval" => {
+                let interval: u64 = value(&mut it).parse().unwrap_or_else(|_| usage());
+                if interval == 0 {
+                    usage();
+                }
+                args.sample_interval = Some(interval);
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     args
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Emits the metrics JSON and/or event-trace JSON files, as requested.
+fn export(args: &Args, system: &System, report: &RunReport) {
+    if let Some(path) = &args.metrics_json {
+        write_file(path, &report.render());
+        println!("metrics json:      {path}");
+    }
+    if let Some(path) = &args.trace_events {
+        write_file(path, &system.engine().trace().to_json().render_doc());
+        println!(
+            "event trace:       {path} ({} recorded, {} dropped)",
+            system.engine().trace().recorded(),
+            system.engine().trace().dropped()
+        );
+    }
 }
 
 fn main() {
@@ -99,6 +148,24 @@ fn main() {
     }
     .with_cores(args.cores);
     let mut system = System::new(cfg);
+    if let Some(interval) = args
+        .sample_interval
+        .or(args.metrics_json.as_ref().map(|_| DEFAULT_SAMPLE_INTERVAL))
+    {
+        system.set_sample_interval(interval);
+    }
+    if args.trace_events.is_some() {
+        system.enable_tracing(TRACE_CAPACITY);
+    }
+    let report_config = ReportConfig {
+        scheme: args.scheme,
+        workload: args.workload,
+        ops: args.ops as u64,
+        seed: args.seed,
+        cores: args.cores as u64,
+        hash_latency: args.hash_latency,
+        eadr: args.eadr,
+    };
 
     println!(
         "scheme {} | workload {} | {} ops x {} core(s) | hash {} cyc | eadr {}",
@@ -110,15 +177,26 @@ fn main() {
         let consumed = system.run_until(&trace, stop).expect("integrity violation");
         println!("crash at cycle {} after {consumed} ops", system.now());
         system.crash();
-        let report = system.engine_mut().recover();
+        let recovery = system.engine_mut().recover();
         println!(
             "recovery: {:?} ({} leaves, {} fetches, {:.3} ms modelled)",
-            report.outcome,
-            report.leaves_checked,
-            report.metadata_fetches,
-            report.modelled_ns as f64 / 1e6
+            recovery.outcome,
+            recovery.leaves_checked,
+            recovery.metadata_fetches,
+            recovery.modelled_ns as f64 / 1e6
         );
-        std::process::exit(if report.outcome.is_success() { 0 } else { 1 });
+        let phases = recovery.phases;
+        println!(
+            "  phases: scan {} / counter-summing {} / re-hash {} fetches",
+            phases.scan_fetches, phases.summing_fetches, phases.rehash_fetches
+        );
+        let report = RunReport {
+            config: report_config,
+            result: system.snapshot(consumed as u64),
+            recovery: Some(recovery),
+        };
+        export(&args, &system, &report);
+        std::process::exit(if recovery.outcome.is_success() { 0 } else { 1 });
     }
 
     let traces: Vec<Trace> = (0..args.cores)
@@ -128,10 +206,22 @@ fn main() {
     println!("cycles:            {}", result.cycles);
     println!("ops replayed:      {}", result.ops);
     println!("persists:          {}", result.engine.persists);
-    println!("mean write lat:    {:.1} cyc", result.mean_write_latency());
+    let wl = &result.engine.write_latency;
     println!(
-        "mean read lat:     {:.1} cyc",
-        result.engine.mean_read_latency()
+        "write lat:         mean {:.1} / p50 {} / p95 {} / p99 {} / max {} cyc",
+        wl.mean(),
+        wl.p50(),
+        wl.p95(),
+        wl.p99(),
+        wl.max()
+    );
+    let rl = &result.engine.read_latency;
+    println!(
+        "read lat:          mean {:.1} / p50 {} / p95 {} / p99 {} cyc",
+        rl.mean(),
+        rl.p50(),
+        rl.p95(),
+        rl.p99()
     );
     println!(
         "memory accesses:   {} user ({} r / {} w), {} metadata ({} r / {} w)",
@@ -144,8 +234,17 @@ fn main() {
     );
     println!("hmacs computed:    {}", result.engine.hashes);
     println!(
-        "mdcache h/m/fill:  {}/{}/{}",
-        result.engine.mdcache.0, result.engine.mdcache.1, result.engine.mdcache.2
+        "mdcache:           {} hits / {} misses / {} fills ({:.1}% hit rate)",
+        result.engine.mdcache.hits,
+        result.engine.mdcache.misses,
+        result.engine.mdcache.fills,
+        result.engine.mdcache.hit_rate() * 100.0
     );
     println!("counter overflows: {}", result.engine.overflows);
+    let report = RunReport {
+        config: report_config,
+        result,
+        recovery: None,
+    };
+    export(&args, &system, &report);
 }

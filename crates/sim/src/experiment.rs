@@ -8,9 +8,50 @@
 
 use crate::config::SystemConfig;
 use crate::runner::System;
-use scue::SchemeKind;
+use scue::{LatencyStats, SchemeKind};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
+use scue_util::obs::Json;
 use scue_workloads::Workload;
+
+/// Digest of one run's raw write-latency distribution, in cycles — the
+/// percentile columns Fig. 9/11 tables carry next to the normalised
+/// means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Digests a recorded distribution.
+    pub fn of(stats: &LatencyStats) -> Self {
+        Self {
+            mean: stats.mean(),
+            p50: stats.p50(),
+            p95: stats.p95(),
+            p99: stats.p99(),
+            max: stats.max(),
+        }
+    }
+
+    /// The digest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("mean", Json::F64(self.mean))
+            .with("p50", Json::U64(self.p50))
+            .with("p95", Json::U64(self.p95))
+            .with("p99", Json::U64(self.p99))
+            .with("max", Json::U64(self.max))
+    }
+}
 
 /// One workload's row in a scheme-comparison figure.
 #[derive(Debug, Clone)]
@@ -22,6 +63,8 @@ pub struct WorkloadRow {
     /// Per-scheme values normalised to Baseline, in
     /// [`SchemeKind::FIGURE_SCHEMES`] order.
     pub normalized: Vec<(SchemeKind, f64)>,
+    /// Raw write-latency digests per scheme, Baseline first.
+    pub summaries: Vec<(SchemeKind, LatencySummary)>,
 }
 
 impl WorkloadRow {
@@ -36,6 +79,14 @@ impl WorkloadRow {
             .find(|(s, _)| *s == scheme)
             .map(|(_, v)| *v)
             .unwrap_or_else(|| panic!("{scheme} not in row"))
+    }
+
+    /// The raw write-latency digest for one scheme, when recorded.
+    pub fn summary(&self, scheme: SchemeKind) -> Option<&LatencySummary> {
+        self.summaries
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, summary)| summary)
     }
 }
 
@@ -59,6 +110,26 @@ pub enum Metric {
     MetadataAccesses,
 }
 
+fn measure_run(
+    metric: Metric,
+    system_cfg: SystemConfig,
+    workload: Workload,
+    scale: usize,
+    seed: u64,
+) -> (f64, LatencySummary) {
+    let trace = workload.generate(scale, seed);
+    let mut system = System::new(system_cfg);
+    let result = system
+        .run_trace(&trace)
+        .expect("no attacks are injected during figure runs");
+    let value = match metric {
+        Metric::WriteLatency => result.mean_write_latency(),
+        Metric::ExecTime => result.cycles as f64,
+        Metric::MetadataAccesses => result.engine.mem.metadata_total() as f64,
+    };
+    (value, LatencySummary::of(&result.engine.write_latency))
+}
+
 fn measure(
     metric: Metric,
     system_cfg: SystemConfig,
@@ -66,16 +137,7 @@ fn measure(
     scale: usize,
     seed: u64,
 ) -> f64 {
-    let trace = workload.generate(scale, seed);
-    let mut system = System::new(system_cfg);
-    let result = system
-        .run_trace(&trace)
-        .expect("no attacks are injected during figure runs");
-    match metric {
-        Metric::WriteLatency => result.mean_write_latency(),
-        Metric::ExecTime => result.cycles as f64,
-        Metric::MetadataAccesses => result.engine.mem.metadata_total() as f64,
-    }
+    measure_run(metric, system_cfg, workload, scale, seed).0
 }
 
 /// Runs one workload under Baseline + the four figure schemes and
@@ -86,17 +148,20 @@ pub fn scheme_comparison_row(
     scale: usize,
     seed: u64,
 ) -> WorkloadRow {
-    let baseline_raw = measure(
+    let (baseline_raw, baseline_summary) = measure_run(
         metric,
         SystemConfig::figure(SchemeKind::Baseline),
         workload,
         scale,
         seed,
     );
+    let mut summaries = vec![(SchemeKind::Baseline, baseline_summary)];
     let normalized = SchemeKind::FIGURE_SCHEMES
         .iter()
         .map(|&scheme| {
-            let raw = measure(metric, SystemConfig::figure(scheme), workload, scale, seed);
+            let (raw, summary) =
+                measure_run(metric, SystemConfig::figure(scheme), workload, scale, seed);
+            summaries.push((scheme, summary));
             (scheme, raw / baseline_raw.max(1.0))
         })
         .collect();
@@ -104,6 +169,7 @@ pub fn scheme_comparison_row(
         workload,
         baseline_raw,
         normalized,
+        summaries,
     }
 }
 
@@ -165,6 +231,8 @@ pub struct HashSweepRow {
     pub workload: Workload,
     /// `(hash_latency, normalized_value)`, ascending latency.
     pub points: Vec<(u64, f64)>,
+    /// Raw write-latency digests per hash latency, ascending latency.
+    pub summaries: Vec<(u64, LatencySummary)>,
 }
 
 /// Figs. 11–12: SCUE sensitivity to hash latency.
@@ -184,22 +252,25 @@ pub fn hash_latency_sweep(
                 scale,
                 seed,
             );
+            let mut summaries = Vec::new();
             let points = PAPER_HASH_LATENCIES
                 .iter()
                 .map(|&lat| {
-                    let raw = measure(
+                    let (raw, summary) = measure_run(
                         metric,
                         SystemConfig::figure(SchemeKind::Scue).with_hash_latency(lat),
                         w,
                         scale,
                         seed,
                     );
+                    summaries.push((lat, summary));
                     (lat, raw / base.max(1.0))
                 })
                 .collect();
             HashSweepRow {
                 workload: w,
                 points,
+                summaries,
             }
         })
         .collect()
@@ -244,13 +315,26 @@ mod tests {
                 workload: Workload::Array,
                 baseline_raw: 1.0,
                 normalized: vec![(SchemeKind::Scue, 1.1)],
+                summaries: vec![],
             },
             WorkloadRow {
                 workload: Workload::Queue,
                 baseline_raw: 1.0,
                 normalized: vec![(SchemeKind::Scue, 1.3)],
+                summaries: vec![],
             },
         ];
         assert!((mean_of(&rows, SchemeKind::Scue) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_carry_per_scheme_latency_digests() {
+        let rows = fig9_write_latency(&[Workload::Queue], 300, 1);
+        let row = &rows[0];
+        assert_eq!(row.summaries.len(), SchemeKind::FIGURE_SCHEMES.len() + 1);
+        assert_eq!(row.summaries[0].0, SchemeKind::Baseline);
+        let scue = row.summary(SchemeKind::Scue).expect("scue digest");
+        assert!(scue.p50 <= scue.p95 && scue.p95 <= scue.p99 && scue.p99 <= scue.max);
+        assert!(scue.mean > 0.0);
     }
 }

@@ -7,7 +7,8 @@
 //! → banked PCM ([`scue_nvm`]). The [`runner`] replays
 //! [`scue_workloads`] traces and reports the paper's metrics; the
 //! [`experiment`] module sweeps workloads × schemes × parameters to
-//! regenerate each figure's data series.
+//! regenerate each figure's data series; the [`report`] module renders
+//! any run as versioned JSON for downstream tooling.
 //!
 //! # Quick start
 //!
@@ -27,7 +28,9 @@
 
 pub mod config;
 pub mod experiment;
+pub mod report;
 pub mod runner;
 
 pub use config::SystemConfig;
+pub use report::{ReportConfig, RunReport, METRICS_SCHEMA_VERSION};
 pub use runner::{RunResult, System};

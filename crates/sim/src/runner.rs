@@ -13,7 +13,8 @@ use scue::{EngineStats, IntegrityError, SecureMemory};
 use scue_cache::{DataHierarchy, MemSide};
 use scue_crypto::siphash::WordHasher;
 use scue_crypto::SecretKey;
-use scue_nvm::{Cycle, LineAddr};
+use scue_nvm::{Cycle, LineAddr, PcmCounters, WpqStats};
+use scue_util::obs::{EpochSample, EpochSampler};
 use scue_workloads::{MemOp, Trace};
 use std::collections::HashMap;
 
@@ -31,6 +32,13 @@ pub struct RunResult {
     pub hierarchy: scue_cache::hierarchy::HierarchyStats,
     /// Trace operations replayed.
     pub ops: u64,
+    /// Write-pending-queue statistics, `(user, metadata)`.
+    pub wpq: (WpqStats, WpqStats),
+    /// Raw PCM device counters (reads / writes / row-buffer hits).
+    pub pcm: PcmCounters,
+    /// Epoch time-series of gauges (empty unless
+    /// [`System::set_sample_interval`] was called before the run).
+    pub samples: Vec<EpochSample>,
 }
 
 impl RunResult {
@@ -57,6 +65,8 @@ pub struct System {
     /// of racing unboundedly ahead of the memory system.
     outstanding_writebacks: Vec<Cycle>,
     now: Cycle,
+    /// Epoch gauge sampler; `None` until a sample interval is set.
+    sampler: Option<EpochSampler>,
 }
 
 /// Writeback-buffer depth: posted writes beyond this stall the core.
@@ -74,12 +84,55 @@ impl System {
             outstanding_persists: Vec::new(),
             outstanding_writebacks: Vec::new(),
             now: 0,
+            sampler: None,
         }
     }
 
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Snapshots WPQ occupancy and metadata-cache hit-rate every
+    /// `interval` cycles from now on; the series lands in
+    /// [`RunResult::samples`]. Replaces any previous sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.sampler = Some(EpochSampler::new(interval));
+    }
+
+    /// Enables structured event tracing on the secure-memory engine with
+    /// the given ring-buffer capacity (see [`SecureMemory::trace`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.engine.enable_tracing(capacity);
+    }
+
+    /// Advances the epoch sampler to `now`, snapshotting one gauge
+    /// vector per crossed boundary (a no-op when time went backwards,
+    /// as interleaved cores legitimately do).
+    fn sample_gauges_upto(&mut self, now: Cycle) {
+        let Self {
+            sampler: Some(sampler),
+            engine,
+            ..
+        } = self
+        else {
+            return;
+        };
+        sampler.sample_upto(now, |cycle| {
+            let (user, meta) = engine.wpq_occupancy(cycle);
+            let stats = engine.stats();
+            vec![
+                ("wpq_user_occupancy", user as f64),
+                ("wpq_meta_occupancy", meta as f64),
+                ("mdcache_hit_rate", stats.mdcache.hit_rate()),
+                ("persists", stats.persists as f64),
+                ("mem_accesses", stats.mem.total() as f64),
+            ]
+        });
     }
 
     /// The secure-memory engine (crash/recover/attack access).
@@ -191,6 +244,7 @@ impl System {
         let result = self.exec_op(op, core, self.now, &mut outstanding);
         self.outstanding_persists = outstanding;
         self.now = result?;
+        self.sample_gauges_upto(self.now);
         Ok(())
     }
 
@@ -276,6 +330,10 @@ impl System {
             cores[core].now = now;
             cores[core].next_op += 1;
             total_ops += 1;
+            // Sample only up to the globally committed time: epochs past
+            // the slowest core could still see state changes.
+            let floor = cores.iter().map(|c| c.now).min().unwrap_or(now);
+            self.sample_gauges_upto(floor);
         }
         self.now = cores.iter().map(|c| c.now).max().unwrap_or(self.now);
         self.drain()?;
@@ -294,6 +352,7 @@ impl System {
         }
         let horizon = self.outstanding_persists.drain(..).max().unwrap_or(0);
         self.now = self.now.max(horizon);
+        self.sample_gauges_upto(self.now);
         Ok(())
     }
 
@@ -305,14 +364,28 @@ impl System {
         self.engine.crash(self.now);
     }
 
-    /// Builds the result snapshot.
-    fn result(&self, ops: u64) -> RunResult {
+    /// Builds the result snapshot at the current cycle — what
+    /// `run_trace`/`run_traces` return, but callable mid-flight too
+    /// (the crash path snapshots after `run_until`).
+    pub fn snapshot(&self, ops: u64) -> RunResult {
         RunResult {
             cycles: self.now,
             engine: self.engine.stats(),
             hierarchy: self.hierarchy.stats(),
             ops,
+            wpq: self.engine.wpq_stats(),
+            pcm: self.engine.pcm_counters(),
+            samples: self
+                .sampler
+                .as_ref()
+                .map(|s| s.samples().to_vec())
+                .unwrap_or_default(),
         }
+    }
+
+    /// Builds the result snapshot.
+    fn result(&self, ops: u64) -> RunResult {
+        self.snapshot(ops)
     }
 }
 
@@ -342,7 +415,7 @@ mod tests {
     #[test]
     fn persistent_workload_records_write_latencies() {
         let r = run(SchemeKind::Scue, Workload::Queue, 500);
-        assert!(r.engine.write_latency.count > 0);
+        assert!(r.engine.write_latency.count() > 0);
         assert!(r.mean_write_latency() > 0.0);
     }
 
@@ -392,6 +465,41 @@ mod tests {
         let mut system = System::new(SystemConfig::fast(SchemeKind::Baseline));
         let consumed = system.run_until(&trace, u64::MAX).unwrap();
         assert_eq!(consumed, trace.ops.len());
+    }
+
+    #[test]
+    fn sampler_collects_full_epoch_series() {
+        let trace = Workload::Queue.generate(500, 7);
+        let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
+        system.set_sample_interval(1_000);
+        let r = system.run_trace(&trace).unwrap();
+        assert_eq!(
+            r.samples.len() as u64,
+            r.cycles / 1_000,
+            "one sample per crossed epoch boundary"
+        );
+        let last = r.samples.last().unwrap();
+        for gauge in ["wpq_user_occupancy", "mdcache_hit_rate", "persists"] {
+            assert!(
+                last.gauges.iter().any(|&(n, _)| n == gauge),
+                "missing gauge {gauge}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_sampler_means_no_samples() {
+        let r = run(SchemeKind::Scue, Workload::Array, 200);
+        assert!(r.samples.is_empty());
+    }
+
+    #[test]
+    fn tracing_through_system_captures_persists() {
+        let trace = Workload::Queue.generate(300, 7);
+        let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
+        system.enable_tracing(4096);
+        system.run_trace(&trace).unwrap();
+        assert!(system.engine().trace().recorded() > 0);
     }
 
     #[test]
@@ -481,6 +589,20 @@ mod multicore_tests {
             loaded_misses < solo_misses * 4,
             "shared fills must cut per-core memory traffic"
         );
+    }
+
+    #[test]
+    fn multicore_sampling_is_monotonic_and_complete() {
+        let traces: Vec<Trace> = (0..4)
+            .map(|i| Workload::Mcf.generate(400, 20 + i))
+            .collect();
+        let mut system = System::new(SystemConfig::fast(SchemeKind::Scue).with_cores(4));
+        system.set_sample_interval(500);
+        let r = system.run_traces(&traces).unwrap();
+        assert_eq!(r.samples.len() as u64, r.cycles / 500);
+        for pair in r.samples.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+        }
     }
 
     #[test]

@@ -102,8 +102,9 @@ fn json_string(s: &str) -> String {
 
 /// Where bench JSON lands: `SCUE_BENCH_DIR`, else the workspace
 /// `results/` directory if discoverable from the manifest dir, else
-/// `./results`.
-fn results_dir() -> PathBuf {
+/// `./results`. Public so figure harnesses can drop machine-readable
+/// twins next to their text tables.
+pub fn results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("SCUE_BENCH_DIR") {
         return PathBuf::from(dir);
     }

@@ -13,11 +13,15 @@
 //!   integer/vec shrinking (replaces `proptest`);
 //! * [`bench`] — a micro-benchmark runner with warmup, calibrated
 //!   samples, median/p95 reporting and JSON output under `results/`
-//!   (replaces `criterion`).
+//!   (replaces `criterion`);
+//! * [`obs`] — the observability substrate: log2-bucketed histograms,
+//!   named counters, a bounded event-trace ring buffer, an epoch gauge
+//!   sampler, and a minimal JSON value type for versioned exports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod obs;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,108 @@
+//! Named monotonic counters, aggregated into run reports.
+
+use crate::obs::json::Json;
+use std::collections::BTreeMap;
+
+/// A registry of named `u64` counters.
+///
+/// Names are dotted paths (`"mem.user_reads"`, `"pcm.row_hits"`), kept
+/// sorted so JSON output and iteration order are deterministic.
+///
+/// # Example
+///
+/// ```
+/// use scue_util::obs::CounterRegistry;
+///
+/// let mut c = CounterRegistry::new();
+/// c.add("wpq.stalls", 2);
+/// c.add("wpq.stalls", 1);
+/// assert_eq!(c.get("wpq.stalls"), 3);
+/// assert_eq!(c.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// The counter's current value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Iterates `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All counters as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in self.iter() {
+            obj.set(name, Json::U64(value));
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get() {
+        let mut c = CounterRegistry::new();
+        c.add("a.b", 5);
+        c.add("a.b", 7);
+        c.set("x", 3);
+        assert_eq!(c.get("a.b"), 12);
+        assert_eq!(c.get("x"), 3);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut c = CounterRegistry::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut c = CounterRegistry::new();
+        c.add("n", 9);
+        assert_eq!(c.to_json().render(), r#"{"n":9}"#);
+    }
+}

@@ -1,0 +1,351 @@
+//! Log2-bucketed latency histogram with percentile estimation.
+//!
+//! Fixed-size (65 buckets, one per power of two plus a zero bucket), so
+//! it is `Copy`, allocation-free and cheap enough to live on every hot
+//! path: `record` is a handful of integer ops. Percentiles interpolate
+//! linearly inside the containing bucket and are clamped to the observed
+//! `[min, max]`, so single-valued distributions report exactly.
+
+use crate::obs::json::Json;
+
+/// Number of buckets: one for zero plus one per power-of-two range.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`.
+///
+/// # Example
+///
+/// ```
+/// use scue_util::obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), 100);
+/// assert!(h.p50() >= 32 && h.p50() <= 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index holding `value`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (index - 1), (1 << index) - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.total = self.total.wrapping_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest sample, `None` when empty (never a spurious 0 or
+    /// `u64::MAX`).
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample (0 when empty, matching counter conventions).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`); 0 when empty.
+    ///
+    /// Finds the bucket containing the `ceil(q * count)`-th smallest
+    /// sample, interpolates linearly through that bucket's value range by
+    /// the sample's rank within the bucket, and clamps to the observed
+    /// `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let k = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= k {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let into = (k - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total = self.total.wrapping_add(other.total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Summary as a JSON object: count, mean, min, max, p50/p95/p99.
+    pub fn summary_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::U64(self.count))
+            .with("mean", Json::F64(self.mean()))
+            .with(
+                "min",
+                match self.min() {
+                    Some(v) => Json::U64(v),
+                    None => Json::Null,
+                },
+            )
+            .with("max", Json::U64(self.max))
+            .with("p50", Json::U64(self.p50()))
+            .with("p95", Json::U64(self.p95()))
+            .with("p99", Json::U64(self.p99()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_golden() {
+        // (value, bucket): the exact mapping the JSON schema documents.
+        let golden = [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ];
+        for (value, bucket) in golden {
+            assert_eq!(Histogram::bucket_index(value), bucket, "value {value}");
+            let (lo, hi) = Histogram::bucket_bounds(bucket);
+            assert!(lo <= value && value <= hi, "value {value} in [{lo},{hi}]");
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(4), (8, 15));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None, "empty min must not report 0 or u64::MAX");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_value_distribution_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(700);
+        }
+        // Clamping to [min, max] pins every quantile to the one value.
+        assert_eq!(h.p50(), 700);
+        assert_eq!(h.p95(), 700);
+        assert_eq!(h.p99(), 700);
+        assert_eq!(h.min(), Some(700));
+        assert_eq!(h.max(), 700);
+        assert_eq!(h.mean(), 700.0);
+    }
+
+    #[test]
+    fn percentile_interpolation_golden() {
+        // 100 samples of value 100 (bucket 7, range [64,127]) and 100
+        // samples of value 1000 (bucket 10, range [512,1023]).
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        // p50: k=100, fully inside bucket 7 -> lo + 63*(100/100) = 127,
+        // clamped stays 127.
+        assert_eq!(h.p50(), 127);
+        // p95: k=190 -> bucket 10, into = 90/100 -> 512 + 511*0.9 = 971.
+        assert_eq!(h.p95(), 971);
+        // p99: k=198 -> 512 + 511*0.98 = 1012, clamped to the observed
+        // max of 1000.
+        assert_eq!(h.p99(), 1000);
+        // p100 == max exactly, thanks to the clamp.
+        assert_eq!(h.quantile(1.0), 1000.min(h.max()));
+    }
+
+    #[test]
+    fn quantiles_are_monotonic() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 100_000);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.0) >= h.min().unwrap());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), 1013);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn merge_into_empty_preserves_min() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42);
+        a.merge(&b);
+        assert_eq!(a.min(), Some(42));
+        let mut c = Histogram::new();
+        c.merge(&Histogram::new());
+        assert_eq!(c.min(), None);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let j = h.summary_json();
+        assert_eq!(j.get("count").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(j.get("min").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(j.get("p99").and_then(|v| v.as_u64()), Some(5));
+        let empty = Histogram::new().summary_json();
+        assert_eq!(empty.get("min"), Some(&super::Json::Null));
+    }
+}

@@ -1,0 +1,26 @@
+//! Zero-dependency observability substrate: histograms, counters,
+//! event tracing, epoch sampling, and a small JSON value type.
+//!
+//! Everything here is allocation-light and crates-io-free so it can be
+//! threaded through every simulator hot path. The design contract
+//! (enforced by `benches/obs_overhead` in `scue-bench`):
+//!
+//! * **Counters and histograms are always on** — a [`Histogram::record`]
+//!   is a handful of integer ops on a fixed `Copy` array.
+//! * **Event tracing is off by default** — a disabled
+//!   [`EventTrace::record`] is a single branch, keeping engine overhead
+//!   under 3% when tracing is not requested.
+//! * **All exports are versioned JSON** — documents carry a
+//!   `schema_version` field so downstream tooling can evolve safely.
+
+mod counters;
+mod hist;
+mod json;
+mod sampler;
+mod trace;
+
+pub use counters::CounterRegistry;
+pub use hist::{Histogram, BUCKETS};
+pub use json::Json;
+pub use sampler::{EpochSample, EpochSampler};
+pub use trace::{EventKind, EventTrace, TraceEvent};

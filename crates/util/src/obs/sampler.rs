@@ -1,0 +1,164 @@
+//! Epoch time-series sampling of simulator gauges.
+
+use crate::obs::json::Json;
+
+/// One gauge snapshot taken at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    /// The cycle the sample was taken (a multiple of the interval).
+    pub cycle: u64,
+    /// `(gauge name, value)` pairs, in the order the callback pushed
+    /// them.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+impl EpochSample {
+    /// The sample as a JSON object: `{"cycle":..,"<gauge>":..,...}`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj().with("cycle", Json::U64(self.cycle));
+        for &(name, value) in &self.gauges {
+            obj.set(name, Json::F64(value));
+        }
+        obj
+    }
+}
+
+/// Samples gauges every `interval` cycles.
+///
+/// The first sample is due at cycle `interval` (not 0), so advancing a
+/// run to cycle `C` produces exactly `C / interval` samples — the
+/// property the satellite tests pin down. Boundaries crossed in one
+/// jump each get their own sample, so coarse-stepping simulators still
+/// emit a complete series.
+///
+/// # Example
+///
+/// ```
+/// use scue_util::obs::EpochSampler;
+///
+/// let mut s = EpochSampler::new(10);
+/// s.sample_upto(35, |_cycle| vec![("gauge", 1.0)]);
+/// assert_eq!(s.samples().len(), 3); // cycles 10, 20, 30
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    interval: u64,
+    next_due: u64,
+    samples: Vec<EpochSample>,
+}
+
+impl EpochSampler {
+    /// A sampler firing every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be non-zero");
+        Self {
+            interval,
+            next_due: interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Advances simulated time to `now`, invoking `gauges` once per
+    /// crossed epoch boundary (with the boundary cycle) and storing the
+    /// returned gauge vector.
+    pub fn sample_upto(
+        &mut self,
+        now: u64,
+        mut gauges: impl FnMut(u64) -> Vec<(&'static str, f64)>,
+    ) {
+        while self.next_due <= now {
+            let cycle = self.next_due;
+            self.samples.push(EpochSample {
+                cycle,
+                gauges: gauges(cycle),
+            });
+            self.next_due += self.interval;
+        }
+    }
+
+    /// Samples collected so far, oldest first.
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    /// The series as a JSON array of per-sample objects.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.samples.iter().map(EpochSample::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_cycles_over_interval_samples() {
+        // The satellite contract: advancing to cycle C with interval I
+        // yields exactly C / I samples.
+        for (cycles, interval) in [(1000u64, 100u64), (999, 100), (100, 100), (99, 100), (7, 2)] {
+            let mut s = EpochSampler::new(interval);
+            s.sample_upto(cycles, |_| vec![("g", 0.0)]);
+            assert_eq!(
+                s.samples().len() as u64,
+                cycles / interval,
+                "cycles={cycles} interval={interval}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_jump_advance_agree() {
+        let mut step = EpochSampler::new(10);
+        for now in 0..=95 {
+            step.sample_upto(now, |c| vec![("c", c as f64)]);
+        }
+        let mut jump = EpochSampler::new(10);
+        jump.sample_upto(95, |c| vec![("c", c as f64)]);
+        assert_eq!(step.samples(), jump.samples());
+        let cycles: Vec<u64> = jump.samples().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn no_sample_at_cycle_zero() {
+        let mut s = EpochSampler::new(50);
+        s.sample_upto(0, |_| vec![]);
+        s.sample_upto(49, |_| vec![]);
+        assert!(s.samples().is_empty());
+        s.sample_upto(50, |_| vec![]);
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].cycle, 50);
+    }
+
+    #[test]
+    fn json_series_shape() {
+        let mut s = EpochSampler::new(5);
+        s.sample_upto(10, |c| {
+            vec![("occupancy", c as f64 / 10.0), ("hit_rate", 0.5)]
+        });
+        let arr = s.to_json();
+        let samples = arr.as_arr().unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].get("cycle").and_then(Json::as_u64), Some(5));
+        assert_eq!(
+            samples[1].get("occupancy").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(Json::parse(&arr.render()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_rejected() {
+        EpochSampler::new(0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Bounded structured event tracing for the simulator.
+//!
+//! An [`EventTrace`] is a fixed-capacity ring buffer of cycle-stamped
+//! [`TraceEvent`]s. Tracing is *off by default*: a disabled trace's
+//! [`EventTrace::record`] is a single branch on a bool, which is what
+//! keeps the instrumented hot paths within the documented <3% overhead
+//! budget (see DESIGN.md, "Observability"). When the buffer is full the
+//! oldest event is dropped and counted, so a trace is always the most
+//! recent window of activity.
+
+use crate::obs::json::Json;
+use std::collections::VecDeque;
+
+/// What happened. Addresses are raw line numbers; `phase`/`what` are
+/// static names so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A user-data persist arrived at the secure engine.
+    PersistBegin {
+        /// Raw line address.
+        addr: u64,
+    },
+    /// A persist reached its scheme-defined completion.
+    PersistComplete {
+        /// Raw line address.
+        addr: u64,
+        /// Recorded write latency, cycles.
+        latency: u64,
+    },
+    /// An integrity-tree node absorbed a counter update.
+    TreeNodeUpdate {
+        /// Tree level (0 = leaf counter blocks).
+        level: u8,
+        /// Node index within the level.
+        index: u64,
+    },
+    /// Metadata-cache lookup hit.
+    MdCacheHit {
+        /// Raw line address.
+        addr: u64,
+    },
+    /// Metadata-cache lookup missed (an NVM fetch follows).
+    MdCacheMiss {
+        /// Raw line address.
+        addr: u64,
+    },
+    /// Metadata-cache eviction.
+    MdCacheEvict {
+        /// Raw line address of the victim.
+        addr: u64,
+        /// Whether the victim was dirty (needs a flush).
+        dirty: bool,
+    },
+    /// A write entered a write-pending queue.
+    WpqEnqueue {
+        /// Raw line address.
+        addr: u64,
+        /// Whether this was the metadata queue (else user data).
+        meta: bool,
+    },
+    /// A write's media drain completed (`at` is the drain cycle; the
+    /// event's own cycle stamp is the enqueue time).
+    WpqDrain {
+        /// Raw line address.
+        addr: u64,
+        /// Whether this was the metadata queue.
+        meta: bool,
+        /// Drain-completion cycle.
+        at: u64,
+    },
+    /// A full WPQ stalled the writer.
+    WpqStall {
+        /// Whether this was the metadata queue.
+        meta: bool,
+        /// Cycles the writer waited for a free slot.
+        waited: u64,
+    },
+    /// Power failure injected.
+    CrashInjected,
+    /// A recovery phase started.
+    RecoveryPhaseBegin {
+        /// Phase name (`"scan"`, `"counter-summing"`, `"re-hash"`).
+        phase: &'static str,
+    },
+    /// A recovery phase finished.
+    RecoveryPhaseEnd {
+        /// Phase name.
+        phase: &'static str,
+        /// Metadata fetches the phase performed.
+        fetches: u64,
+    },
+    /// NVM tampering injected by the attack harness.
+    TamperInjected {
+        /// Raw line address.
+        addr: u64,
+        /// Attack class.
+        what: &'static str,
+    },
+    /// Verification caught tampering or inconsistency.
+    AttackDetected {
+        /// Raw line address (0 when not address-specific).
+        addr: u64,
+        /// What failed.
+        what: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PersistBegin { .. } => "persist_begin",
+            EventKind::PersistComplete { .. } => "persist_complete",
+            EventKind::TreeNodeUpdate { .. } => "tree_node_update",
+            EventKind::MdCacheHit { .. } => "mdcache_hit",
+            EventKind::MdCacheMiss { .. } => "mdcache_miss",
+            EventKind::MdCacheEvict { .. } => "mdcache_evict",
+            EventKind::WpqEnqueue { .. } => "wpq_enqueue",
+            EventKind::WpqDrain { .. } => "wpq_drain",
+            EventKind::WpqStall { .. } => "wpq_stall",
+            EventKind::CrashInjected => "crash_injected",
+            EventKind::RecoveryPhaseBegin { .. } => "recovery_phase_begin",
+            EventKind::RecoveryPhaseEnd { .. } => "recovery_phase_end",
+            EventKind::TamperInjected { .. } => "tamper_injected",
+            EventKind::AttackDetected { .. } => "attack_detected",
+        }
+    }
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The event as a JSON object (`{"cycle":..,"event":..,fields..}`).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .with("cycle", Json::U64(self.cycle))
+            .with("event", Json::Str(self.kind.name().into()));
+        match self.kind {
+            EventKind::PersistBegin { addr }
+            | EventKind::MdCacheHit { addr }
+            | EventKind::MdCacheMiss { addr } => {
+                obj.set("addr", Json::U64(addr));
+            }
+            EventKind::PersistComplete { addr, latency } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("latency", Json::U64(latency));
+            }
+            EventKind::TreeNodeUpdate { level, index } => {
+                obj.set("level", Json::U64(level as u64));
+                obj.set("index", Json::U64(index));
+            }
+            EventKind::MdCacheEvict { addr, dirty } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("dirty", Json::Bool(dirty));
+            }
+            EventKind::WpqEnqueue { addr, meta } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("queue", Json::Str(queue_name(meta).into()));
+            }
+            EventKind::WpqDrain { addr, meta, at } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("queue", Json::Str(queue_name(meta).into()));
+                obj.set("at", Json::U64(at));
+            }
+            EventKind::WpqStall { meta, waited } => {
+                obj.set("queue", Json::Str(queue_name(meta).into()));
+                obj.set("waited", Json::U64(waited));
+            }
+            EventKind::CrashInjected => {}
+            EventKind::RecoveryPhaseBegin { phase } => {
+                obj.set("phase", Json::Str(phase.into()));
+            }
+            EventKind::RecoveryPhaseEnd { phase, fetches } => {
+                obj.set("phase", Json::Str(phase.into()));
+                obj.set("fetches", Json::U64(fetches));
+            }
+            EventKind::TamperInjected { addr, what } | EventKind::AttackDetected { addr, what } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("what", Json::Str(what.into()));
+            }
+        }
+        obj
+    }
+}
+
+fn queue_name(meta: bool) -> &'static str {
+    if meta {
+        "metadata"
+    } else {
+        "user"
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s with an enable switch.
+///
+/// # Example
+///
+/// ```
+/// use scue_util::obs::{EventKind, EventTrace};
+///
+/// let mut t = EventTrace::disabled();
+/// t.record(5, EventKind::CrashInjected); // no-op: disabled
+/// assert_eq!(t.len(), 0);
+///
+/// t.enable(2);
+/// for cycle in 0..3 {
+///     t.record(cycle, EventKind::CrashInjected);
+/// }
+/// assert_eq!(t.len(), 2, "capacity 2 keeps the newest window");
+/// assert_eq!(t.dropped(), 1);
+/// assert_eq!(t.recorded(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    enabled: bool,
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// A disabled trace: `record` is a single branch, nothing allocates.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Enables tracing with a ring buffer of `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        self.enabled = true;
+        self.capacity = capacity;
+        self.buf.reserve(capacity.min(4096));
+    }
+
+    /// Disables tracing, keeping already-captured events readable.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether tracing is currently on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. A no-op (one predictable branch) when tracing
+    /// is disabled — callers may invoke this unconditionally on hot
+    /// paths.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent { cycle, kind });
+    }
+
+    #[cold]
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Events currently buffered (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity (0 while disabled and never enabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including later-dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the buffer (capacity and counters stay).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The whole trace as a JSON document:
+    /// `{"schema_version":1,"kind":"scue-event-trace",...,"events":[..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema_version", Json::U64(1))
+            .with("kind", Json::Str("scue-event-trace".into()))
+            .with("recorded", Json::U64(self.recorded))
+            .with("dropped", Json::U64(self.dropped))
+            .with(
+                "events",
+                Json::Arr(self.events().map(TraceEvent::to_json).collect()),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = EventTrace::disabled();
+        t.record(1, EventKind::PersistBegin { addr: 7 });
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_counts() {
+        let mut t = EventTrace::disabled();
+        t.enable(3);
+        for cycle in 0..10u64 {
+            t.record(cycle, EventKind::PersistBegin { addr: cycle });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 7);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9], "newest window survives");
+    }
+
+    #[test]
+    fn disable_freezes_but_keeps_events() {
+        let mut t = EventTrace::disabled();
+        t.enable(8);
+        t.record(1, EventKind::CrashInjected);
+        t.disable();
+        t.record(2, EventKind::CrashInjected);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn event_json_carries_typed_fields() {
+        let e = TraceEvent {
+            cycle: 42,
+            kind: EventKind::WpqStall {
+                meta: true,
+                waited: 99,
+            },
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("cycle").and_then(Json::as_u64), Some(42));
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("wpq_stall"));
+        assert_eq!(j.get("queue").and_then(Json::as_str), Some("metadata"));
+        assert_eq!(j.get("waited").and_then(Json::as_u64), Some(99));
+    }
+
+    #[test]
+    fn trace_json_document_shape() {
+        let mut t = EventTrace::disabled();
+        t.enable(2);
+        t.record(3, EventKind::RecoveryPhaseBegin { phase: "scan" });
+        let doc = t.to_json();
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("scue-event-trace")
+        );
+        let events = doc.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("phase").and_then(Json::as_str), Some("scan"));
+        // Every document renders to parseable JSON.
+        assert!(Json::parse(&doc.render()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        EventTrace::disabled().enable(0);
+    }
+
+    #[test]
+    fn every_kind_has_a_name_and_json() {
+        let kinds = [
+            EventKind::PersistBegin { addr: 1 },
+            EventKind::PersistComplete {
+                addr: 1,
+                latency: 2,
+            },
+            EventKind::TreeNodeUpdate { level: 3, index: 4 },
+            EventKind::MdCacheHit { addr: 1 },
+            EventKind::MdCacheMiss { addr: 1 },
+            EventKind::MdCacheEvict {
+                addr: 1,
+                dirty: true,
+            },
+            EventKind::WpqEnqueue {
+                addr: 1,
+                meta: false,
+            },
+            EventKind::WpqDrain {
+                addr: 1,
+                meta: false,
+                at: 9,
+            },
+            EventKind::WpqStall {
+                meta: false,
+                waited: 5,
+            },
+            EventKind::CrashInjected,
+            EventKind::RecoveryPhaseBegin { phase: "scan" },
+            EventKind::RecoveryPhaseEnd {
+                phase: "scan",
+                fetches: 1,
+            },
+            EventKind::TamperInjected {
+                addr: 1,
+                what: "replay",
+            },
+            EventKind::AttackDetected {
+                addr: 1,
+                what: "mac",
+            },
+        ];
+        let mut names = std::collections::BTreeSet::new();
+        for kind in kinds {
+            assert!(names.insert(kind.name()), "duplicate name {}", kind.name());
+            let rendered = TraceEvent { cycle: 0, kind }.to_json().render();
+            assert!(Json::parse(&rendered).is_ok(), "{rendered}");
+        }
+    }
+}

@@ -17,6 +17,16 @@ cargo build --release --offline --all-targets
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> metrics-export smoke (scue-simulate --metrics-json + scue-check-metrics)"
+metrics_tmp="$(mktemp -d)"
+trap 'rm -rf "$metrics_tmp"' EXIT
+cargo run --release --offline -q -p scue-sim --bin scue-simulate -- \
+    --workload queue --ops 2000 --sample-interval 5000 \
+    --metrics-json "$metrics_tmp/metrics.json" \
+    --trace-events "$metrics_tmp/events.json" > /dev/null
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/metrics.json"
+
 echo "==> verifying zero external dependencies"
 # Every line of `cargo tree` must be a workspace crate (scue*) or tree
 # drawing; any other crate name means a crates-io dependency crept in.

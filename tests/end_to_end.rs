@@ -87,7 +87,7 @@ fn spec_reads_verify_through_metadata() {
     let mut system = System::new(SystemConfig::fast(SchemeKind::Scue));
     let r = system.run_trace(&trace).unwrap();
     assert!(r.engine.mem.meta_reads > 0, "read path must fetch metadata");
-    assert!(r.engine.read_latency.count > 0);
+    assert!(r.engine.read_latency.count() > 0);
 }
 
 /// Determinism: identical configuration and trace give identical cycle
