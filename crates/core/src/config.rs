@@ -108,6 +108,14 @@ pub struct SecureMemConfig {
     pub user_wpq: usize,
     /// Metadata WPQ entries (Table II: 10).
     pub meta_wpq: usize,
+    /// Whether recovery may attempt Osiris-style torn-counter repair
+    /// (§VII composition) when a leaf MAC mismatches: replay stale minors
+    /// forward until the stored data-line MAC verifies, then retry.
+    ///
+    /// Off by default — unconditional repair would also "repair" genuine
+    /// roll-back attacks, so only harnesses that know their faults are
+    /// crash-induced (the torture campaign) turn it on.
+    pub counter_repair: bool,
 }
 
 impl SecureMemConfig {
@@ -124,6 +132,7 @@ impl SecureMemConfig {
             eadr: false,
             user_wpq: 64,
             meta_wpq: 10,
+            counter_repair: false,
         }
     }
 
@@ -153,6 +162,12 @@ impl SecureMemConfig {
     /// Overrides the metadata cache size (Fig. 13 sweep).
     pub fn with_mdcache_bytes(mut self, bytes: usize) -> Self {
         self.mdcache_bytes = bytes;
+        self
+    }
+
+    /// Enables Osiris-style torn-counter repair during recovery.
+    pub fn with_counter_repair(mut self, on: bool) -> Self {
+        self.counter_repair = on;
         self
     }
 }
@@ -187,11 +202,17 @@ mod tests {
         let cfg = SecureMemConfig::small_test(SchemeKind::Lazy)
             .with_hash_latency(160)
             .with_eadr(true)
-            .with_mdcache_bytes(4096);
+            .with_mdcache_bytes(4096)
+            .with_counter_repair(true);
         assert_eq!(cfg.hash_latency, 160);
         assert!(cfg.eadr);
         assert_eq!(cfg.mdcache_bytes, 4096);
         assert_eq!(cfg.scheme, SchemeKind::Lazy);
+        assert!(cfg.counter_repair);
+        assert!(
+            !SecureMemConfig::paper(SchemeKind::Scue).counter_repair,
+            "repair must be opt-in: it would mask roll-back attacks"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::config::{SchemeKind, SecureMemConfig};
 use crate::meta::MetaEntry;
-use crate::recovery::{self, RecoveryReport};
+use crate::recovery::{self, RecoveryOutcome, RecoveryReport};
 use crate::stats::EngineStats;
 use scue_cache::{Eviction, MetadataCache};
 use scue_crypto::cme::{self, CounterBlock, IncrementOutcome};
@@ -33,7 +33,7 @@ use scue_crypto::SecretKey;
 use scue_itree::geometry::{NodeId, Parent};
 use scue_itree::{MacSideband, RootRegister, SitContext, SitNode};
 use scue_nvm::wpq::Enqueued;
-use scue_nvm::{AccessKind, Cycle, LineAddr, MemoryController};
+use scue_nvm::{AccessKind, Cycle, FaultPlan, FaultRecord, LineAddr, MemoryController};
 use scue_util::obs::{EventKind, EventTrace};
 use std::collections::HashMap;
 
@@ -70,6 +70,70 @@ impl std::fmt::Display for IntegrityError {
 }
 
 impl std::error::Error for IntegrityError {}
+
+/// Any failure the engine can report instead of serving a request.
+///
+/// Detected tampering is a *classifiable result*, not a process abort:
+/// harnesses (the attack matrix, the torture campaign) match on this
+/// enum to tell "the scheme caught it" from "the harness is misusing the
+/// machine".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashError {
+    /// Integrity verification failed: tampering (or an injected fault)
+    /// was detected.
+    Integrity(IntegrityError),
+    /// The machine is in the crashed state; call
+    /// [`SecureMemory::recover`] before issuing requests.
+    MachineCrashed,
+    /// The metadata cache is configured too small to retain one branch
+    /// node long enough to operate on it.
+    CacheExhausted {
+        /// Tree level of the node that could not be retained.
+        level: u8,
+        /// Index of the node within its level.
+        index: u64,
+    },
+}
+
+impl CrashError {
+    /// The underlying integrity error, if this is a detection.
+    pub fn as_integrity(&self) -> Option<IntegrityError> {
+        match self {
+            CrashError::Integrity(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IntegrityError> for CrashError {
+    fn from(e: IntegrityError) -> Self {
+        CrashError::Integrity(e)
+    }
+}
+
+impl std::fmt::Display for CrashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashError::Integrity(e) => e.fmt(f),
+            CrashError::MachineCrashed => {
+                write!(f, "machine is crashed; call recover() first")
+            }
+            CrashError::CacheExhausted { level, index } => write!(
+                f,
+                "metadata cache cannot retain L{level}#{index}; configure a larger cache"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrashError::Integrity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A root update still inside its crash window (Eager/PLP).
 #[derive(Debug, Clone, Copy)]
@@ -488,16 +552,17 @@ impl SecureMemory {
     /// if a flush cascade evicted it in the meantime, and marking it
     /// dirty. Returns the closure's result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the metadata cache cannot retain the node at all (a
-    /// configuration far too small to hold one branch).
+    /// [`CrashError::CacheExhausted`] if the metadata cache cannot retain
+    /// the node at all (a configuration far too small to hold one
+    /// branch); [`CrashError::Integrity`] if refetching detects tampering.
     fn with_node_mut<R>(
         &mut self,
         node: NodeId,
         now: Cycle,
         f: impl FnOnce(&mut SitNode) -> R,
-    ) -> Result<R, IntegrityError> {
+    ) -> Result<R, CrashError> {
         let addr = self.meta_addr(node);
         let mut f = Some(f);
         for _ in 0..8 {
@@ -515,7 +580,10 @@ impl SecureMemory {
             }
             self.ensure_node_cached(node, now)?;
         }
-        panic!("metadata cache cannot retain {node}; configure a larger cache");
+        Err(CrashError::CacheExhausted {
+            level: node.level,
+            index: node.index,
+        })
     }
 
     /// Ensures intermediate node `node` is cached and verified; returns
@@ -523,7 +591,7 @@ impl SecureMemory {
     ///
     /// Missing ancestors are read in parallel (their addresses are pure
     /// geometry) and verified top-down in one parallel hash batch.
-    fn ensure_node_cached(&mut self, node: NodeId, now: Cycle) -> Result<Cycle, IntegrityError> {
+    fn ensure_node_cached(&mut self, node: NodeId, now: Cycle) -> Result<Cycle, CrashError> {
         if self.mdcache.contains(self.meta_addr(node)) {
             self.trace.record(
                 now,
@@ -602,7 +670,8 @@ impl SecureMemory {
                 return Err(IntegrityError {
                     addr: self.meta_addr(id),
                     what,
-                });
+                }
+                .into());
             }
         }
         // Verification hashes run off the critical path: fetched nodes
@@ -637,7 +706,7 @@ impl SecureMemory {
         leaf: NodeId,
         now: Cycle,
         verify: bool,
-    ) -> Result<(CounterBlock, Cycle), IntegrityError> {
+    ) -> Result<(CounterBlock, Cycle), CrashError> {
         let addr = self.meta_addr(leaf);
         if let Some(MetaEntry::Leaf(block)) = self.mdcache.get(addr) {
             let block = *block;
@@ -679,7 +748,7 @@ impl SecureMemory {
                             what,
                         },
                     );
-                    return Err(IntegrityError { addr, what });
+                    return Err(IntegrityError { addr, what }.into());
                 }
                 let _ = self.hash.parallel_latency(t_read, 1); // off-path verify
                 t_read
@@ -701,11 +770,15 @@ impl SecureMemory {
                             }
                             self.ensure_node_cached(parent, now)?;
                         }
-                        counter.unwrap_or_else(|| {
-                            panic!(
-                                "metadata cache cannot retain {parent}; configure a larger cache"
-                            )
-                        })
+                        match counter {
+                            Some(c) => c,
+                            None => {
+                                return Err(CrashError::CacheExhausted {
+                                    level: parent.level,
+                                    index: parent.index,
+                                })
+                            }
+                        }
                     }
                 };
                 if !self.ctx.verify_leaf(leaf, &block, mac, parent_counter) {
@@ -717,7 +790,7 @@ impl SecureMemory {
                             what,
                         },
                     );
-                    return Err(IntegrityError { addr, what });
+                    return Err(IntegrityError { addr, what }.into());
                 }
                 let _ = self.hash.parallel_latency(t_read, 1); // off-path verify
                 t_read
@@ -738,20 +811,23 @@ impl SecureMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`IntegrityError`] if fetching security metadata for this
-    /// write detects tampering.
+    /// [`CrashError::Integrity`] if fetching security metadata for this
+    /// write detects tampering; [`CrashError::MachineCrashed`] if the
+    /// machine crashed and has not recovered.
     ///
     /// # Panics
     ///
-    /// Panics if called on a crashed machine (recover first) or with an
-    /// address outside the protected data region.
+    /// Panics if the address is outside the protected data region (a
+    /// harness wiring bug, not a machine condition).
     pub fn persist_data(
         &mut self,
         addr: LineAddr,
         plain: Line,
         now: Cycle,
-    ) -> Result<Cycle, IntegrityError> {
-        assert!(!self.crashed, "machine is crashed; call recover() first");
+    ) -> Result<Cycle, CrashError> {
+        if self.crashed {
+            return Err(CrashError::MachineCrashed);
+        }
         assert!(
             self.ctx.geometry().is_data_line(addr),
             "{addr} is outside the protected data region"
@@ -952,7 +1028,7 @@ impl SecureMemory {
         leaf: NodeId,
         leaf_dummy: u64,
         now: Cycle,
-    ) -> Result<Cycle, IntegrityError> {
+    ) -> Result<Cycle, CrashError> {
         match self.ctx.geometry().parent(leaf) {
             Parent::Root(slot) => {
                 self.running_root.set(slot, leaf_dummy);
@@ -976,7 +1052,7 @@ impl SecureMemory {
         leaf: NodeId,
         leaf_dummy: u64,
         now: Cycle,
-    ) -> Result<Cycle, IntegrityError> {
+    ) -> Result<Cycle, CrashError> {
         let (chain, _) = self.ctx.geometry().ancestors(leaf);
         let t = match chain.first() {
             Some(&parent) => self.ensure_node_cached(parent, now)?,
@@ -1066,18 +1142,17 @@ impl SecureMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`IntegrityError`] if the data MAC or any metadata in the
-    /// verification chain fails.
+    /// [`CrashError::Integrity`] if the data MAC or any metadata in the
+    /// verification chain fails; [`CrashError::MachineCrashed`] if the
+    /// machine crashed and has not recovered.
     ///
     /// # Panics
     ///
-    /// Panics if the machine is crashed or the address is out of range.
-    pub fn read_data(
-        &mut self,
-        addr: LineAddr,
-        now: Cycle,
-    ) -> Result<(Line, Cycle), IntegrityError> {
-        assert!(!self.crashed, "machine is crashed; call recover() first");
+    /// Panics if the address is out of range (a harness wiring bug).
+    pub fn read_data(&mut self, addr: LineAddr, now: Cycle) -> Result<(Line, Cycle), CrashError> {
+        if self.crashed {
+            return Err(CrashError::MachineCrashed);
+        }
         assert!(
             self.ctx.geometry().is_data_line(addr),
             "{addr} is outside the protected data region"
@@ -1119,7 +1194,7 @@ impl SecureMemory {
                         what,
                     },
                 );
-                return Err(IntegrityError { addr, what });
+                return Err(IntegrityError { addr, what }.into());
             }
             let _ = self.hash.parallel_latency(t_data.max(t_meta), 1);
             t_data.max(t_meta)
@@ -1136,6 +1211,14 @@ impl SecureMemory {
     // Crash & recovery
     // ------------------------------------------------------------------
 
+    /// Starts journaling pre-write NVM content so crash-time faults
+    /// (torn and dropped writes) can reconstruct what the media held
+    /// before the interrupted flush. Torture harnesses call this once,
+    /// right after construction; the journal costs memory, not cycles.
+    pub fn enable_fault_injection(&mut self) {
+        self.mc.store_mut().track_history(true);
+    }
+
     /// Power fails at cycle `at`.
     ///
     /// ADR drains the WPQ (already durable in the functional store). With
@@ -1144,12 +1227,30 @@ impl SecureMemory {
     /// Root registers are non-volatile and survive. Root propagations
     /// still in flight (Eager) are lost — the crash window.
     pub fn crash(&mut self, at: Cycle) {
+        self.crash_with_faults(at, &FaultPlan::none());
+    }
+
+    /// Power fails at cycle `at` *and* the persistence machinery
+    /// misbehaves according to `plan`: in-flight WPQ entries tear at
+    /// 8-byte granularity (an ADR failure) and/or explicit media faults
+    /// corrupt the post-crash image. Returns one [`FaultRecord`] per
+    /// attempted fault stating whether it changed the image.
+    ///
+    /// Torn/dropped faults require [`Self::enable_fault_injection`] to
+    /// have been active while the victim write happened; otherwise they
+    /// report `applied: false`.
+    pub fn crash_with_faults(&mut self, at: Cycle, plan: &FaultPlan) -> Vec<FaultRecord> {
         self.trace.record(at, EventKind::CrashInjected);
         self.settle_pending(at);
         // Eager: in-flight propagation lost. PLP applied its updates
         // synchronously, so nothing is pending for it.
         self.pending_root.clear();
-        self.mc.crash();
+        let mut records = if plan.tear_in_flight {
+            self.mc.crash_with_tearing(at)
+        } else {
+            self.mc.crash();
+            Vec::new()
+        };
         if self.cfg.eadr {
             let entries = self.mdcache.drain_all();
             for ev in entries {
@@ -1166,16 +1267,52 @@ impl SecureMemory {
             self.mdcache.discard_all();
             self.victims.clear();
         }
+        // Explicit media faults strike the settled post-crash image (the
+        // eADR flush, when present, has already landed).
+        for &fault in &plan.faults {
+            records.push(self.mc.inject_fault(fault));
+        }
+        for rec in &records {
+            self.trace.record(
+                at,
+                EventKind::FaultInjected {
+                    addr: rec.fault.addr().raw(),
+                    kind: rec.fault.kind_name(),
+                    applied: rec.applied,
+                },
+            );
+        }
         self.hash.reset_occupancy();
         self.crashed = true;
+        records
     }
 
     /// Reboots and attempts recovery; see [`recovery`](crate::recovery)
     /// for the algorithm and report semantics. On success the machine is
     /// ready for `persist_data`/`read_data` again.
+    ///
+    /// When [`counter_repair`](SecureMemConfig::counter_repair) is on and
+    /// verification fails on a leaf MAC, recovery composes with
+    /// Osiris-style torn-counter replay (§VII): stale minors are advanced
+    /// until the stored data MACs verify, then counter-summing re-runs on
+    /// the repaired image. The report's `repaired_leaves` counts the
+    /// blocks the replay fixed.
     pub fn recover(&mut self) -> RecoveryReport {
         assert!(self.crashed, "recover() is only meaningful after crash()");
-        let report = recovery::run(self);
+        let mut report = recovery::run(self);
+        let repairable = matches!(report.outcome, RecoveryOutcome::LeafMacMismatch { .. })
+            && self.cfg.counter_repair
+            && self.cfg.scheme.is_secure()
+            && self.cfg.scheme != SchemeKind::BmfIdeal;
+        if repairable {
+            if let Ok(osiris) =
+                crate::osiris::recover_image(self, crate::osiris::DEFAULT_REPLAY_LIMIT)
+            {
+                if osiris.repaired_blocks > 0 {
+                    report = recovery::run(self).with_repaired_leaves(osiris.repaired_blocks);
+                }
+            }
+        }
         if self.trace.is_enabled() {
             // Phase timeline on the recovery's own modelled-ns clock
             // (recovery is modelled, not cycle-simulated).
@@ -1452,11 +1589,126 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "crashed")]
-    fn persist_after_crash_panics() {
+    fn requests_on_crashed_machine_are_errors_not_aborts() {
         let mut m = mem(SchemeKind::Scue);
         m.crash(0);
-        let _ = m.persist_data(LineAddr::new(0), line(1), 0);
+        let err = m.persist_data(LineAddr::new(0), line(1), 0).unwrap_err();
+        assert_eq!(err, CrashError::MachineCrashed);
+        assert!(err.to_string().contains("crashed"));
+        let err = m.read_data(LineAddr::new(0), 0).unwrap_err();
+        assert_eq!(err, CrashError::MachineCrashed);
+        assert!(err.as_integrity().is_none());
+    }
+
+    #[test]
+    fn crash_with_no_faults_matches_plain_crash() {
+        let mut m = mem(SchemeKind::Scue);
+        let now = m.persist_data(LineAddr::new(3), line(7), 0).unwrap();
+        let records = m.crash_with_faults(now, &scue_nvm::FaultPlan::none());
+        assert!(records.is_empty());
+        assert!(m.recover().outcome.is_success());
+        let (data, _) = m.read_data(LineAddr::new(3), 0).unwrap();
+        assert_eq!(data, line(7));
+    }
+
+    #[test]
+    fn injected_bit_flip_is_detected_on_read() {
+        let mut m = mem(SchemeKind::Scue);
+        let now = m.persist_data(LineAddr::new(5), line(9), 0).unwrap();
+        let plan = scue_nvm::FaultPlan::none().with_fault(scue_nvm::NvmFault::BitFlip {
+            addr: LineAddr::new(5),
+            byte: 0,
+            bit: 0,
+        });
+        let records = m.crash_with_faults(now, &plan);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].applied);
+        assert!(
+            m.recover().outcome.is_success(),
+            "data faults pass root check"
+        );
+        let err = m.read_data(LineAddr::new(5), 0).unwrap_err();
+        assert!(err.as_integrity().is_some(), "flip must not decrypt clean");
+    }
+
+    #[test]
+    fn torn_counter_block_is_repaired_when_enabled() {
+        let mut m = SecureMemory::new(
+            SecureMemConfig::small_test(SchemeKind::Scue).with_counter_repair(true),
+        );
+        m.enable_fault_injection();
+        let mut now = 0;
+        for i in 0..4u64 {
+            now = m
+                .persist_data(LineAddr::new(i), line(i as u8 + 1), now)
+                .unwrap();
+        }
+        // Tear the leaf-0 counter block: one leading word new, rest stale.
+        let leaf_addr = m.context().geometry().node_addr(NodeId::new(0, 0));
+        let plan = scue_nvm::FaultPlan::none().with_fault(scue_nvm::NvmFault::TornWrite {
+            addr: leaf_addr,
+            words_new: 1,
+        });
+        let records = m.crash_with_faults(now, &plan);
+        assert!(records[0].applied, "history journal makes the tear land");
+        let report = m.recover();
+        assert_eq!(report.outcome, crate::recovery::RecoveryOutcome::Clean);
+        assert!(report.repaired_leaves > 0, "Osiris replay fixed the block");
+        for i in 0..4u64 {
+            let (data, _) = m.read_data(LineAddr::new(i), 0).unwrap();
+            assert_eq!(data, line(i as u8 + 1), "repaired counters decrypt");
+        }
+    }
+
+    #[test]
+    fn torn_counter_without_repair_fails_recovery() {
+        let mut m = mem(SchemeKind::Scue);
+        m.enable_fault_injection();
+        let mut now = 0;
+        for i in 0..4u64 {
+            now = m
+                .persist_data(LineAddr::new(i), line(i as u8 + 1), now)
+                .unwrap();
+        }
+        let leaf_addr = m.context().geometry().node_addr(NodeId::new(0, 0));
+        let plan = scue_nvm::FaultPlan::none().with_fault(scue_nvm::NvmFault::TornWrite {
+            addr: leaf_addr,
+            words_new: 1,
+        });
+        m.crash_with_faults(now, &plan);
+        assert!(m.recover().outcome.is_failure(), "repair is opt-in");
+    }
+
+    /// Satellite: repeated crash/recover cycles with a non-empty victim
+    /// buffer, with and without eADR. The tiny 2-way cache evicts
+    /// constantly, so every persist round parks victims; the drain at the
+    /// crash must leave a recoverable image either way.
+    #[test]
+    fn repeated_crashes_with_populated_victim_buffer() {
+        for eadr in [false, true] {
+            let mut m =
+                SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue).with_eadr(eadr));
+            let mut now = 0;
+            for round in 0..4u64 {
+                // Stride across many leaves to churn the 2-way cache.
+                for i in 0..24u64 {
+                    now = m
+                        .persist_data(
+                            LineAddr::new((i * 64 + round) % 4096),
+                            line(round as u8 + 1),
+                            now,
+                        )
+                        .unwrap();
+                }
+                m.crash(now);
+                assert!(
+                    m.recover().outcome.is_success(),
+                    "eadr={eadr} round {round}"
+                );
+            }
+            let (data, _) = m.read_data(LineAddr::new(3), now).unwrap();
+            assert_eq!(data, line(4), "eadr={eadr}");
+        }
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub mod recovery;
 pub mod stats;
 
 pub use config::{SchemeKind, SecureMemConfig};
-pub use engine::{IntegrityError, SecureMemory};
+pub use engine::{CrashError, IntegrityError, SecureMemory};
 pub use recovery::{RecoveryOutcome, RecoveryPhases, RecoveryReport};
 pub use stats::{EngineStats, LatencyStats};

@@ -61,6 +61,9 @@ pub struct OsirisReport {
     pub replayed_minors: u64,
     /// Total forward steps applied.
     pub replay_steps: u64,
+    /// Leaf blocks that actually changed and were written back to NVM
+    /// (only [`recover_image`] populates this).
+    pub repaired_blocks: u64,
 }
 
 /// Recovers the true minor counters of one stale leaf block by replaying
@@ -166,6 +169,7 @@ pub fn recover_image(
             &mut report,
         )?;
         if recovered != stale {
+            report.repaired_blocks += 1;
             mem.store_mut().write_line(addr, recovered.to_line());
             let mac = ctx.leaf_mac(leaf, &recovered, ctx.leaf_dummy(&recovered));
             mem.sideband_mut().set(addr, mac);

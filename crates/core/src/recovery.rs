@@ -120,6 +120,11 @@ pub struct RecoveryReport {
     pub modelled_ns: u64,
     /// Where the fetches (and hence the time) went, phase by phase.
     pub phases: RecoveryPhases,
+    /// Leaf counter blocks repaired by Osiris-style torn-counter replay
+    /// before verification passed (only non-zero when
+    /// [`counter_repair`](crate::config::SecureMemConfig::counter_repair)
+    /// is enabled).
+    pub repaired_leaves: u64,
 }
 
 impl RecoveryReport {
@@ -131,7 +136,14 @@ impl RecoveryReport {
             metadata_fetches,
             modelled_ns: metadata_fetches * RECOVERY_FETCH_NS,
             phases,
+            repaired_leaves: 0,
         }
+    }
+
+    /// Stamps the number of Osiris-repaired leaves onto the report.
+    pub(crate) fn with_repaired_leaves(mut self, repaired: u64) -> Self {
+        self.repaired_leaves = repaired;
+        self
     }
 }
 

@@ -8,9 +8,10 @@
 //! durable only under eADR.
 
 use crate::addr::{Cycle, LineAddr};
+use crate::fault::{self, FaultRecord, NvmFault, WORDS_PER_LINE};
 use crate::store::{Line, NvmStore};
 use crate::timing::{PcmDevice, PcmTiming};
-use crate::wpq::{Enqueued, WpqStats, WritePendingQueue};
+use crate::wpq::{Enqueued, InFlight, WpqStats, WritePendingQueue};
 
 /// What a memory access carries — the paper separates user-data traffic
 /// from security-metadata traffic throughout the evaluation (§V-E).
@@ -177,6 +178,46 @@ impl MemoryController {
         self.device.reset_occupancy();
     }
 
+    /// WPQ entries (user + metadata) still draining to media at `now`.
+    pub fn in_flight_writes(&self, now: Cycle) -> Vec<InFlight> {
+        let mut all = self.user_wpq.in_flight_at(now);
+        all.extend(self.meta_wpq.in_flight_at(now));
+        all
+    }
+
+    /// Models a power failure where the ADR flush *fails*: every WPQ entry
+    /// still draining at `at` is torn at 8-byte granularity, proportional
+    /// to how far its media write had progressed. Requires the store's
+    /// history journal (see [`NvmStore::track_history`]); entries without
+    /// recorded history are left untouched and reported as unapplied.
+    ///
+    /// Returns one [`FaultRecord`] per torn entry, then performs the
+    /// normal [`MemoryController::crash`] teardown.
+    pub fn crash_with_tearing(&mut self, at: Cycle) -> Vec<FaultRecord> {
+        let mut records = Vec::new();
+        for entry in self.in_flight_writes(at) {
+            let span = entry.drained.saturating_sub(entry.accepted).max(1);
+            let progress = at.saturating_sub(entry.accepted).min(span);
+            let words_new = ((progress as u128 * WORDS_PER_LINE as u128) / span as u128) as usize;
+            if words_new < WORDS_PER_LINE {
+                records.push(fault::apply(
+                    &mut self.store,
+                    NvmFault::TornWrite {
+                        addr: entry.addr,
+                        words_new,
+                    },
+                ));
+            }
+        }
+        self.crash();
+        records
+    }
+
+    /// Applies one explicit media fault to the post-crash image.
+    pub fn inject_fault(&mut self, fault: NvmFault) -> FaultRecord {
+        fault::apply(&mut self.store, fault)
+    }
+
     /// Access statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
@@ -269,6 +310,64 @@ mod tests {
         let (_, done) = mc.read(LineAddr::new(0), 0, AccessKind::UserData);
         // uniform(10) miss = tRCD + tCL = 20 cycles after overhead.
         assert_eq!(done, 14 + 20);
+    }
+
+    #[test]
+    fn crash_with_tearing_tears_in_flight_writes() {
+        let mut mc = MemoryController::for_tests();
+        mc.store_mut().track_history(true);
+        let a = LineAddr::new(3);
+        mc.write(a, [1; 64], 0, AccessKind::UserData);
+        // Let the first write drain fully, then crash mid-way through a
+        // second write to the same line.
+        let horizon = mc.drained_at();
+        let enq = mc.write(a, [2; 64], horizon, AccessKind::UserData);
+        let mid = enq.accepted + (enq.drained - enq.accepted) / 2;
+        let records = mc.crash_with_tearing(mid);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].applied);
+        let line = mc.peek(a);
+        assert_ne!(line, [1; 64], "some new words landed");
+        assert_ne!(line, [2; 64], "but not all of them");
+        assert_eq!(mc.wpq_occupancy(mid), (0, 0), "queues cleared");
+    }
+
+    #[test]
+    fn crash_with_tearing_spares_drained_writes() {
+        let mut mc = MemoryController::for_tests();
+        mc.store_mut().track_history(true);
+        mc.write(LineAddr::new(3), [1; 64], 0, AccessKind::UserData);
+        let records = mc.crash_with_tearing(mc.drained_at());
+        assert!(records.is_empty(), "nothing in flight at the horizon");
+        assert_eq!(mc.peek(LineAddr::new(3)), [1; 64]);
+    }
+
+    #[test]
+    fn crash_before_acceptance_reverts_the_write() {
+        let mut mc = MemoryController::for_tests();
+        mc.store_mut().track_history(true);
+        let a = LineAddr::new(5);
+        mc.write(a, [1; 64], 0, AccessKind::UserData);
+        let horizon = mc.drained_at();
+        let enq = mc.write(a, [2; 64], horizon, AccessKind::UserData);
+        // Crash "before" the entry was accepted: zero words persisted.
+        let records = mc.crash_with_tearing(enq.accepted.saturating_sub(1));
+        assert_eq!(records.len(), 1);
+        assert!(records[0].applied);
+        assert_eq!(mc.peek(a), [1; 64], "write fully reverted");
+    }
+
+    #[test]
+    fn inject_fault_reaches_the_store() {
+        let mut mc = MemoryController::for_tests();
+        mc.write(LineAddr::new(0), [0; 64], 0, AccessKind::UserData);
+        let rec = mc.inject_fault(NvmFault::BitFlip {
+            addr: LineAddr::new(0),
+            byte: 1,
+            bit: 0,
+        });
+        assert!(rec.applied);
+        assert_eq!(mc.peek(LineAddr::new(0))[1], 1);
     }
 
     #[test]

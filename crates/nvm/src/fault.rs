@@ -1,0 +1,326 @@
+//! Injectable media faults and the 8-byte atomic-persist model.
+//!
+//! Real NVM persists in 8-byte atomic units: a power failure in the
+//! middle of a 64 B cacheline flush leaves a *torn* line whose prefix of
+//! 8-byte words carries the new content while the suffix still holds the
+//! old content. The ADR contract normally hides this (the WPQ drains on
+//! power failure), so tearing here models an ADR *failure* — the torture
+//! harness injects it deliberately to check that every scheme either
+//! recovers or detects the damage, never silently serves it.
+//!
+//! Besides torn writes the module models classic media faults: bit
+//! flips, stuck-at bytes, and dropped writes (a WPQ entry that never
+//! reached media). Each injection is described by a typed [`NvmFault`]
+//! and acknowledged by a [`FaultRecord`] stating whether it actually
+//! changed the image, so campaigns can tell "fault landed" from "fault
+//! was a no-op" deterministically.
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use crate::store::{Line, NvmStore};
+
+/// NVM persists atomically in units of this many bytes (one machine word).
+pub const PERSIST_ATOM_BYTES: usize = 8;
+
+/// Number of 8-byte atomic-persist words in one 64 B line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / PERSIST_ATOM_BYTES;
+
+/// One injectable media fault, addressed at line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmFault {
+    /// A crash mid-flush: the first `words_new` 8-byte words of the line
+    /// hold the latest write, the rest still hold the previous content.
+    TornWrite {
+        /// The line torn by the interrupted flush.
+        addr: LineAddr,
+        /// How many leading 8-byte words made it to media (0..=8).
+        words_new: usize,
+    },
+    /// A single-bit upset in one stored byte.
+    BitFlip {
+        /// The affected line.
+        addr: LineAddr,
+        /// Byte offset within the line (0..64).
+        byte: usize,
+        /// Bit index within the byte (0..8).
+        bit: u8,
+    },
+    /// A byte whose cell is stuck at a fixed value.
+    StuckAt {
+        /// The affected line.
+        addr: LineAddr,
+        /// Byte offset within the line (0..64).
+        byte: usize,
+        /// The value the cell is stuck at.
+        value: u8,
+    },
+    /// A write the WPQ accepted but that never reached media: the line
+    /// reverts to its previous content.
+    DroppedWrite {
+        /// The line whose last write is dropped.
+        addr: LineAddr,
+    },
+}
+
+impl NvmFault {
+    /// The line this fault targets.
+    pub fn addr(&self) -> LineAddr {
+        match *self {
+            NvmFault::TornWrite { addr, .. }
+            | NvmFault::BitFlip { addr, .. }
+            | NvmFault::StuckAt { addr, .. }
+            | NvmFault::DroppedWrite { addr } => addr,
+        }
+    }
+
+    /// A short stable name for traces and JSON.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NvmFault::TornWrite { .. } => "torn_write",
+            NvmFault::BitFlip { .. } => "bit_flip",
+            NvmFault::StuckAt { .. } => "stuck_at",
+            NvmFault::DroppedWrite { .. } => "dropped_write",
+        }
+    }
+}
+
+/// What to break when a crash is injected.
+///
+/// `tear_in_flight` asks the controller to tear every WPQ entry still
+/// draining at the crash cycle (modelling an ADR failure); `faults` are
+/// explicit media faults applied after the crash settles.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Tear WPQ entries still draining at the crash cycle.
+    pub tear_in_flight: bool,
+    /// Explicit media faults applied to the post-crash image, in order.
+    pub faults: Vec<NvmFault>,
+}
+
+impl FaultPlan {
+    /// A fault-free crash — identical to the classic clean-crash model.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A crash that tears all in-flight WPQ entries.
+    pub fn tearing() -> Self {
+        Self {
+            tear_in_flight: true,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one explicit media fault to the plan.
+    pub fn with_fault(mut self, fault: NvmFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// Acknowledgement of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault that was requested.
+    pub fault: NvmFault,
+    /// Whether the image actually changed (a stuck-at matching the stored
+    /// byte, or a torn write whose halves agree, is a no-op).
+    pub applied: bool,
+}
+
+/// Builds the torn image of a line: the first `words_new` 8-byte words
+/// from `new`, the rest from `old`. `words_new` is clamped to the line.
+pub fn torn_line(new: &Line, old: &Line, words_new: usize) -> Line {
+    let split = words_new.min(WORDS_PER_LINE) * PERSIST_ATOM_BYTES;
+    let mut out = *old;
+    out[..split].copy_from_slice(&new[..split]);
+    out
+}
+
+/// Applies one fault to the functional image, returning a record of
+/// whether anything changed.
+///
+/// Torn and dropped writes need the store's history journal (see
+/// [`NvmStore::track_history`]) to know the pre-write content; without
+/// it, or when the line was never overwritten, they report
+/// `applied: false`.
+pub fn apply(store: &mut NvmStore, fault: NvmFault) -> FaultRecord {
+    let applied = match fault {
+        NvmFault::TornWrite { addr, words_new } => match store.previous_line(addr) {
+            Some(old) => {
+                let new = store.read_line(addr);
+                let torn = torn_line(&new, &old, words_new);
+                if torn == new {
+                    false
+                } else {
+                    store.tamper_line(addr, torn);
+                    true
+                }
+            }
+            None => false,
+        },
+        NvmFault::BitFlip { addr, byte, bit } => {
+            let mut line = store.read_line(addr);
+            line[byte % LINE_BYTES] ^= 1 << (bit % 8);
+            store.tamper_line(addr, line);
+            true
+        }
+        NvmFault::StuckAt { addr, byte, value } => {
+            let mut line = store.read_line(addr);
+            let byte = byte % LINE_BYTES;
+            if line[byte] == value {
+                false
+            } else {
+                line[byte] = value;
+                store.tamper_line(addr, line);
+                true
+            }
+        }
+        NvmFault::DroppedWrite { addr } => match store.previous_line(addr) {
+            Some(old) if old != store.read_line(addr) => {
+                store.tamper_line(addr, old);
+                true
+            }
+            _ => false,
+        },
+    };
+    FaultRecord { fault, applied }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_line_splits_at_word_granularity() {
+        let new = [0xAA; LINE_BYTES];
+        let old = [0x55; LINE_BYTES];
+        let torn = torn_line(&new, &old, 3);
+        assert_eq!(&torn[..24], &[0xAA; 24]);
+        assert_eq!(&torn[24..], &[0x55; 40]);
+        assert_eq!(torn_line(&new, &old, 0), old);
+        assert_eq!(torn_line(&new, &old, 8), new);
+        assert_eq!(torn_line(&new, &old, 99), new, "clamped past the line");
+    }
+
+    #[test]
+    fn torn_write_needs_history() {
+        let mut store = NvmStore::new();
+        let a = LineAddr::new(1);
+        store.write_line(a, [1; LINE_BYTES]);
+        store.write_line(a, [2; LINE_BYTES]);
+        let rec = apply(
+            &mut store,
+            NvmFault::TornWrite {
+                addr: a,
+                words_new: 4,
+            },
+        );
+        assert!(!rec.applied, "no history journal, tear is a no-op");
+        assert_eq!(store.read_line(a), [2; LINE_BYTES]);
+    }
+
+    #[test]
+    fn torn_write_mixes_old_and_new() {
+        let mut store = NvmStore::new();
+        store.track_history(true);
+        let a = LineAddr::new(1);
+        store.write_line(a, [1; LINE_BYTES]);
+        store.write_line(a, [2; LINE_BYTES]);
+        let rec = apply(
+            &mut store,
+            NvmFault::TornWrite {
+                addr: a,
+                words_new: 2,
+            },
+        );
+        assert!(rec.applied);
+        let line = store.read_line(a);
+        assert_eq!(&line[..16], &[2; 16]);
+        assert_eq!(&line[16..], &[1; 48]);
+    }
+
+    #[test]
+    fn full_tear_is_a_noop() {
+        let mut store = NvmStore::new();
+        store.track_history(true);
+        let a = LineAddr::new(1);
+        store.write_line(a, [1; LINE_BYTES]);
+        store.write_line(a, [2; LINE_BYTES]);
+        let rec = apply(
+            &mut store,
+            NvmFault::TornWrite {
+                addr: a,
+                words_new: 8,
+            },
+        );
+        assert!(!rec.applied, "all words made it: nothing torn");
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let mut store = NvmStore::new();
+        let a = LineAddr::new(2);
+        store.write_line(a, [0; LINE_BYTES]);
+        let rec = apply(
+            &mut store,
+            NvmFault::BitFlip {
+                addr: a,
+                byte: 5,
+                bit: 3,
+            },
+        );
+        assert!(rec.applied);
+        let line = store.read_line(a);
+        assert_eq!(line[5], 1 << 3);
+        assert!(line.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
+    }
+
+    #[test]
+    fn stuck_at_matching_value_is_noop() {
+        let mut store = NvmStore::new();
+        let a = LineAddr::new(3);
+        store.write_line(a, [7; LINE_BYTES]);
+        let noop = apply(
+            &mut store,
+            NvmFault::StuckAt {
+                addr: a,
+                byte: 0,
+                value: 7,
+            },
+        );
+        assert!(!noop.applied);
+        let hit = apply(
+            &mut store,
+            NvmFault::StuckAt {
+                addr: a,
+                byte: 0,
+                value: 0xFF,
+            },
+        );
+        assert!(hit.applied);
+        assert_eq!(store.read_line(a)[0], 0xFF);
+    }
+
+    #[test]
+    fn dropped_write_reverts_to_previous() {
+        let mut store = NvmStore::new();
+        store.track_history(true);
+        let a = LineAddr::new(4);
+        store.write_line(a, [1; LINE_BYTES]);
+        store.write_line(a, [2; LINE_BYTES]);
+        let rec = apply(&mut store, NvmFault::DroppedWrite { addr: a });
+        assert!(rec.applied);
+        assert_eq!(store.read_line(a), [1; LINE_BYTES]);
+    }
+
+    #[test]
+    fn fault_accessors() {
+        let f = NvmFault::BitFlip {
+            addr: LineAddr::new(9),
+            byte: 0,
+            bit: 0,
+        };
+        assert_eq!(f.addr(), LineAddr::new(9));
+        assert_eq!(f.kind_name(), "bit_flip");
+    }
+}

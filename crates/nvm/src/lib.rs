@@ -16,6 +16,9 @@
 //!   persistence domain.
 //! * [`controller`] — ties store + timing + WPQ into the memory-controller
 //!   back end the simulator calls into, with per-kind access statistics.
+//! * [`fault`] — injectable media faults and the 8-byte atomic-persist
+//!   model: torn writes for crashes that interrupt an ADR flush, plus bit
+//!   flips, stuck-at bytes, and dropped WPQ entries.
 //!
 //! Timing and function are deliberately separated: writes become durable
 //! (visible in the [`store::NvmStore`]) the moment they enter the WPQ —
@@ -27,12 +30,14 @@
 
 pub mod addr;
 pub mod controller;
+pub mod fault;
 pub mod store;
 pub mod timing;
 pub mod wpq;
 
 pub use addr::{Cycle, LineAddr, LINE_BYTES};
 pub use controller::{AccessKind, MemStats, MemoryController};
+pub use fault::{FaultPlan, FaultRecord, NvmFault, PERSIST_ATOM_BYTES, WORDS_PER_LINE};
 pub use store::NvmStore;
 pub use timing::PcmCounters;
 pub use wpq::WpqStats;

@@ -26,6 +26,10 @@ pub struct NvmStore {
     lines: HashMap<LineAddr, Line>,
     capacity_lines: Option<u64>,
     writes: u64,
+    /// Per-line pre-write content, recorded by [`NvmStore::write_line`]
+    /// when history tracking is on — the fault injector needs the "old"
+    /// half of a torn or dropped write.
+    history: Option<HashMap<LineAddr, Line>>,
 }
 
 impl NvmStore {
@@ -40,7 +44,28 @@ impl NvmStore {
             lines: HashMap::new(),
             capacity_lines: Some(capacity_lines),
             writes: 0,
+            history: None,
         }
+    }
+
+    /// Turns the undo-history journal on or off.
+    ///
+    /// While on, every [`NvmStore::write_line`] records the line's
+    /// pre-write content, so the fault injector can later synthesise a
+    /// torn write (prefix new, suffix old) or a dropped write (full
+    /// revert). Turning tracking off discards the journal.
+    pub fn track_history(&mut self, on: bool) {
+        self.history = if on {
+            Some(self.history.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// The content this line held *before* its most recent write, when
+    /// history tracking was on for that write.
+    pub fn previous_line(&self, addr: LineAddr) -> Option<Line> {
+        self.history.as_ref()?.get(&addr).copied()
     }
 
     /// Reads a line; untouched lines are zero.
@@ -62,6 +87,10 @@ impl NvmStore {
     pub fn write_line(&mut self, addr: LineAddr, line: Line) {
         self.check_bounds(addr);
         self.writes += 1;
+        if let Some(history) = self.history.as_mut() {
+            let old = self.lines.get(&addr).copied().unwrap_or(ZERO_LINE);
+            history.insert(addr, old);
+        }
         if line == ZERO_LINE {
             // Keep the map sparse: a zero write restores the implicit image.
             self.lines.remove(&addr);
@@ -204,5 +233,26 @@ mod tests {
     fn capacity_boundary_is_exclusive() {
         let mut store = NvmStore::with_capacity_lines(10);
         store.write_line(LineAddr::new(9), [1u8; LINE_BYTES]); // ok
+    }
+
+    #[test]
+    fn history_journal_records_pre_write_content() {
+        let mut store = NvmStore::new();
+        let a = LineAddr::new(1);
+        store.write_line(a, [1u8; LINE_BYTES]);
+        assert_eq!(store.previous_line(a), None, "tracking was off");
+        store.track_history(true);
+        store.write_line(a, [2u8; LINE_BYTES]);
+        assert_eq!(store.previous_line(a), Some([1u8; LINE_BYTES]));
+        store.write_line(a, [3u8; LINE_BYTES]);
+        assert_eq!(store.previous_line(a), Some([2u8; LINE_BYTES]));
+        // First-ever write journals the implicit zero image.
+        store.write_line(LineAddr::new(2), [9u8; LINE_BYTES]);
+        assert_eq!(store.previous_line(LineAddr::new(2)), Some(ZERO_LINE));
+        // Tampering bypasses the journal entirely.
+        store.tamper_line(a, [7u8; LINE_BYTES]);
+        assert_eq!(store.previous_line(a), Some([2u8; LINE_BYTES]));
+        store.track_history(false);
+        assert_eq!(store.previous_line(a), None, "journal discarded");
     }
 }

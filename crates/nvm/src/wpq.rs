@@ -40,7 +40,20 @@ pub struct WpqStats {
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     addr: LineAddr,
+    accepted: Cycle,
     drained: Cycle,
+}
+
+/// One WPQ entry still draining to media at a given cycle — the unit the
+/// fault injector tears when a crash interrupts the ADR flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// The line being written.
+    pub addr: LineAddr,
+    /// Cycle the entry was accepted into the queue.
+    pub accepted: Cycle,
+    /// Cycle the media write would have finished draining.
+    pub drained: Cycle,
 }
 
 /// A fixed-capacity write-pending queue backed by a [`PcmDevice`].
@@ -148,10 +161,29 @@ impl WritePendingQueue {
         };
         let sched = device.schedule_write(addr, accepted);
         let drained = sched.done;
-        self.entries.push_back(Entry { addr, drained });
+        self.entries.push_back(Entry {
+            addr,
+            accepted,
+            drained,
+        });
         self.enqueued += 1;
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
         Enqueued { accepted, drained }
+    }
+
+    /// Entries still draining at `now`, with their accept/drain cycles —
+    /// the candidates for torn writes when a crash at `now` interrupts the
+    /// ADR flush.
+    pub fn in_flight_at(&self, now: Cycle) -> Vec<InFlight> {
+        self.entries
+            .iter()
+            .filter(|e| e.drained > now)
+            .map(|e| InFlight {
+                addr: e.addr,
+                accepted: e.accepted,
+                drained: e.drained,
+            })
+            .collect()
     }
 
     /// Cycle by which every queued entry has drained (ADR flush horizon).
@@ -239,5 +271,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = WritePendingQueue::new(0);
+    }
+
+    #[test]
+    fn in_flight_reports_accept_and_drain_cycles() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(4);
+        let a = wpq.enqueue(LineAddr::new(0), 10, &mut dev);
+        let inflight = wpq.in_flight_at(10);
+        assert_eq!(inflight.len(), 1);
+        assert_eq!(inflight[0].addr, LineAddr::new(0));
+        assert_eq!(inflight[0].accepted, 10);
+        assert_eq!(inflight[0].drained, a.drained);
+        assert!(
+            wpq.in_flight_at(a.drained).is_empty(),
+            "drained entries gone"
+        );
     }
 }

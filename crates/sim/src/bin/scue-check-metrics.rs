@@ -1,17 +1,21 @@
 //! `scue-check-metrics` — validate a `scue-simulate --metrics-json`
-//! document without any external tooling (the pure-Rust stand-in for
-//! `jq` in `scripts/verify.sh`).
+//! or `scue-torture --json` document without any external tooling (the
+//! pure-Rust stand-in for `jq` in `scripts/verify.sh`).
 //!
 //! ```text
 //! scue-check-metrics PATH
 //! ```
 //!
-//! Exits 0 when the file parses as JSON, carries the expected schema
-//! version, contains every required section, and its write-latency
-//! percentiles are ordered (`p50 <= p95 <= p99 <= max`). Prints the
-//! first violation and exits 1 otherwise.
+//! Dispatches on the document's `kind` tag. For run metrics: expected
+//! schema version, every required section present, write-latency
+//! percentiles ordered (`p50 <= p95 <= p99 <= max`). For torture
+//! campaigns: expected schema version, non-empty scheme tallies whose
+//! outcome histograms partition the cases, and a violation list
+//! consistent with `total_violations`. Prints the first violation and
+//! exits 1 otherwise.
 
-use scue_sim::METRICS_SCHEMA_VERSION;
+use scue_sim::torture::CaseClass;
+use scue_sim::{METRICS_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION};
 use scue_util::obs::Json;
 
 /// Sections every metrics document must carry.
@@ -77,6 +81,84 @@ fn check(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `scue-torture` campaign document.
+fn check_torture(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != TORTURE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {TORTURE_SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["seed", "points", "ops", "total_violations"] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("`{key}` is not an integer"))?;
+    }
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("`schemes` is not an array")?;
+    if schemes.is_empty() {
+        return Err("`schemes` is empty".to_string());
+    }
+    let mut violation_sum = 0;
+    for entry in schemes {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("scheme entry without a `scheme` name")?;
+        let cases = entry
+            .get("cases")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `cases` is not an integer"))?;
+        let outcomes = entry
+            .get("outcomes")
+            .ok_or(format!("{name}: missing `outcomes`"))?;
+        let mut sum = 0;
+        for class in CaseClass::ALL {
+            sum += outcomes
+                .get(class.name())
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: outcomes.{} missing", class.name()))?;
+        }
+        if sum != cases {
+            return Err(format!(
+                "{name}: outcome tallies sum to {sum}, expected {cases} cases"
+            ));
+        }
+        violation_sum += entry
+            .get("oracle_violations")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `oracle_violations` is not an integer"))?;
+    }
+    let total = doc.get("total_violations").and_then(Json::as_u64).unwrap();
+    if total != violation_sum {
+        return Err(format!(
+            "total_violations {total} != per-scheme sum {violation_sum}"
+        ));
+    }
+    let listed = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("`violations` is not an array")?;
+    if listed.len() as u64 != total {
+        return Err(format!(
+            "violation list has {} entries, total_violations says {total}",
+            listed.len()
+        ));
+    }
+    for v in listed {
+        v.get("replay")
+            .and_then(Json::as_str)
+            .filter(|r| r.contains("--replay"))
+            .ok_or("violation entry without a usable `replay` command")?;
+    }
+    Ok(())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(path), None) = (args.next(), args.next()) else {
@@ -91,8 +173,19 @@ fn main() {
         Ok(d) => d,
         Err(e) => fail(&format!("{path}: invalid JSON: {e}")),
     };
-    if let Err(msg) = check(&doc) {
+    let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
+    let (checked, version) = if kind == TORTURE_DOC_KIND {
+        (check_torture(&doc), TORTURE_SCHEMA_VERSION)
+    } else {
+        (check(&doc), METRICS_SCHEMA_VERSION)
+    };
+    if let Err(msg) = checked {
         fail(&format!("{path}: {msg}"));
     }
-    println!("{path}: ok (schema v{METRICS_SCHEMA_VERSION})");
+    let label = if kind.is_empty() {
+        "scue-metrics"
+    } else {
+        kind
+    };
+    println!("{path}: ok ({label} schema v{version})");
 }

@@ -10,7 +10,7 @@
 //!               [--sample-interval CYCLES]
 //! ```
 
-use scue::{SchemeKind, SecureMemConfig};
+use scue::{CrashError, SchemeKind, SecureMemConfig};
 use scue_sim::{ReportConfig, RunReport, System, SystemConfig};
 use scue_workloads::{Trace, Workload};
 
@@ -64,7 +64,9 @@ fn parse_workload(s: &str) -> Option<Workload> {
         .find(|w| w.name() == s.to_ascii_lowercase())
 }
 
-fn parse_args() -> Args {
+/// Parses the command line, naming the offending flag and value on any
+/// error (separately testable from the process-exiting wrapper).
+fn parse_args_from(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         scheme: SchemeKind::Scue,
         workload: Workload::Btree,
@@ -78,40 +80,67 @@ fn parse_args() -> Args {
         trace_events: None,
         sample_interval: None,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let value = |it: &mut dyn Iterator<Item = String>| -> String {
-            it.next().unwrap_or_else(|| usage())
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
         };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("invalid value for {flag}: `{v}`"))
+        }
         match flag.as_str() {
-            "--scheme" => args.scheme = parse_scheme(&value(&mut it)).unwrap_or_else(|| usage()),
+            "--scheme" => {
+                let v = value("--scheme")?;
+                args.scheme =
+                    parse_scheme(&v).ok_or_else(|| format!("invalid value for --scheme: `{v}`"))?;
+            }
             "--workload" => {
-                args.workload = parse_workload(&value(&mut it)).unwrap_or_else(|| usage())
+                let v = value("--workload")?;
+                args.workload = parse_workload(&v)
+                    .ok_or_else(|| format!("invalid value for --workload: `{v}`"))?;
             }
-            "--ops" => args.ops = value(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = parsed("--ops", &value("--ops")?)?,
+            "--seed" => args.seed = parsed("--seed", &value("--seed")?)?,
             "--hash-latency" => {
-                args.hash_latency = value(&mut it).parse().unwrap_or_else(|_| usage())
+                args.hash_latency = parsed("--hash-latency", &value("--hash-latency")?)?
             }
-            "--cores" => args.cores = value(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--crash-at" => {
-                args.crash_at = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
-            }
+            "--cores" => args.cores = parsed("--cores", &value("--cores")?)?,
+            "--crash-at" => args.crash_at = Some(parsed("--crash-at", &value("--crash-at")?)?),
             "--eadr" => args.eadr = true,
-            "--metrics-json" => args.metrics_json = Some(value(&mut it)),
-            "--trace-events" => args.trace_events = Some(value(&mut it)),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--trace-events" => args.trace_events = Some(value("--trace-events")?),
             "--sample-interval" => {
-                let interval: u64 = value(&mut it).parse().unwrap_or_else(|_| usage());
+                let v = value("--sample-interval")?;
+                let interval: u64 = parsed("--sample-interval", &v)?;
                 if interval == 0 {
-                    usage();
+                    return Err(format!("invalid value for --sample-interval: `{v}`"));
                 }
                 args.sample_interval = Some(interval);
             }
-            "--help" | "-h" => usage(),
-            _ => usage(),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    args
+    Ok(args)
+}
+
+fn parse_args() -> Args {
+    parse_args_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        if !msg.is_empty() {
+            eprintln!("scue-simulate: {msg}");
+        }
+        usage();
+    })
+}
+
+/// Reports a mid-run engine failure — detected tampering, cache
+/// exhaustion — naming the scheme, address and cycle, then exits 1.
+fn die_on_error(scheme: SchemeKind, cycle: u64, err: CrashError) -> ! {
+    eprintln!("scue-simulate: {scheme} stopped at cycle {cycle}: {err}");
+    if let Some(integrity) = err.as_integrity() {
+        eprintln!("scue-simulate: verification failed for {}", integrity.addr);
+    }
+    std::process::exit(1);
 }
 
 fn write_file(path: &str, contents: &str) {
@@ -174,7 +203,10 @@ fn main() {
 
     if let Some(stop) = args.crash_at {
         let trace = args.workload.generate(args.ops, args.seed);
-        let consumed = system.run_until(&trace, stop).expect("integrity violation");
+        let consumed = match system.run_until(&trace, stop) {
+            Ok(consumed) => consumed,
+            Err(e) => die_on_error(args.scheme, system.now(), e),
+        };
         println!("crash at cycle {} after {consumed} ops", system.now());
         system.crash();
         let recovery = system.engine_mut().recover();
@@ -202,7 +234,10 @@ fn main() {
     let traces: Vec<Trace> = (0..args.cores)
         .map(|i| args.workload.generate(args.ops, args.seed + i as u64))
         .collect();
-    let result = system.run_traces(&traces).expect("integrity violation");
+    let result = match system.run_traces(&traces) {
+        Ok(result) => result,
+        Err(e) => die_on_error(args.scheme, system.now(), e),
+    };
     println!("cycles:            {}", result.cycles);
     println!("ops replayed:      {}", result.ops);
     println!("persists:          {}", result.engine.persists);
@@ -247,4 +282,82 @@ fn main() {
         recovery: None,
     };
     export(&args, &system, &report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        parse_args_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_parse_clean() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.scheme, SchemeKind::Scue);
+        assert_eq!(args.ops, 20_000);
+        assert_eq!(args.crash_at, None);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(&[
+            "--scheme",
+            "plp",
+            "--workload",
+            "queue",
+            "--ops",
+            "500",
+            "--seed",
+            "9",
+            "--hash-latency",
+            "80",
+            "--cores",
+            "2",
+            "--crash-at",
+            "12345",
+            "--eadr",
+            "--sample-interval",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(args.scheme, SchemeKind::Plp);
+        assert_eq!(args.workload, Workload::Queue);
+        assert_eq!(args.ops, 500);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.hash_latency, 80);
+        assert_eq!(args.cores, 2);
+        assert_eq!(args.crash_at, Some(12345));
+        assert!(args.eadr);
+        assert_eq!(args.sample_interval, Some(1000));
+    }
+
+    #[test]
+    fn bad_values_name_the_flag_and_value() {
+        for (tokens, flag, value) in [
+            (vec!["--ops", "abc"], "--ops", "abc"),
+            (vec!["--seed", "-3"], "--seed", "-3"),
+            (vec!["--crash-at", "1e9"], "--crash-at", "1e9"),
+            (vec!["--cores", ""], "--cores", ""),
+            (vec!["--scheme", "mercury"], "--scheme", "mercury"),
+            (vec!["--workload", "nope"], "--workload", "nope"),
+            (vec!["--sample-interval", "0"], "--sample-interval", "0"),
+        ] {
+            let err = parse(&tokens).unwrap_err();
+            assert!(err.contains(flag), "{err:?} must name {flag}");
+            assert!(
+                err.contains(&format!("`{value}`")),
+                "{err:?} must show `{value}`"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_errors() {
+        assert!(parse(&["--ops"]).unwrap_err().contains("--ops"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+    }
 }

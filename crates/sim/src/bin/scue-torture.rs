@@ -1,0 +1,180 @@
+//! Crash-point torture campaign runner.
+//!
+//! Samples crash cycles (uniform + persistence-boundary-biased) across
+//! all six schemes, injects media faults at the crash point, and holds
+//! each scheme to the differential recovery oracle. Oracle violations
+//! are shrunk to a minimal `(ops, crash_at, fault)` triple and printed
+//! with a replay command.
+//!
+//! ```text
+//! scue-torture [--seed N] [--points N] [--ops N] [--eadr]
+//!              [--scheme NAME] [--json PATH] [--strict-baseline]
+//!              [--replay scheme:ops:crash_at:fault]
+//! ```
+//!
+//! Exits 0 on a clean campaign, 1 on oracle violations (or a violating
+//! replay), 2 on usage errors.
+
+use scue::SchemeKind;
+use scue_sim::torture::{self, CaseSpec, TortureConfig};
+use std::process::ExitCode;
+
+struct Args {
+    cfg: TortureConfig,
+    points: usize,
+    schemes: Vec<SchemeKind>,
+    json_path: Option<String>,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scue-torture [--seed N] [--points N] [--ops N] [--eadr] \
+         [--scheme baseline|lazy|eager|plp|bmf|scue] [--json PATH] \
+         [--strict-baseline] [--replay scheme:ops:crash_at:fault]"
+    );
+    std::process::exit(2);
+}
+
+fn bad(flag: &str, value: &str) -> ! {
+    eprintln!("scue-torture: invalid value for {flag}: `{value}`");
+    usage();
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: TortureConfig::default(),
+        points: 200,
+        schemes: SchemeKind::ALL.to_vec(),
+        json_path: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("scue-torture: {flag} requires a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                args.cfg.seed = v.parse().unwrap_or_else(|_| bad("--seed", &v));
+            }
+            "--points" => {
+                let v = value("--points");
+                args.points = v.parse().unwrap_or_else(|_| bad("--points", &v));
+            }
+            "--ops" => {
+                let v = value("--ops");
+                args.cfg.ops = v.parse().unwrap_or_else(|_| bad("--ops", &v));
+            }
+            "--eadr" => args.cfg.eadr = true,
+            "--strict-baseline" => args.cfg.strict_baseline = true,
+            "--scheme" => {
+                let v = value("--scheme");
+                let scheme = match v.as_str() {
+                    "baseline" => SchemeKind::Baseline,
+                    "lazy" => SchemeKind::Lazy,
+                    "eager" => SchemeKind::Eager,
+                    "plp" => SchemeKind::Plp,
+                    "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
+                    "scue" => SchemeKind::Scue,
+                    _ => bad("--scheme", &v),
+                };
+                args.schemes = vec![scheme];
+            }
+            "--json" => args.json_path = Some(value("--json")),
+            "--replay" => args.replay = Some(value("--replay")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("scue-torture: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// Re-runs one minimised case and reports the oracle's verdict.
+fn replay(spec: &str, cfg: &TortureConfig) -> ExitCode {
+    let Some((scheme, case)) = CaseSpec::parse_replay(spec) else {
+        bad("--replay", spec);
+    };
+    let result = torture::run_case(scheme, cfg, case);
+    println!(
+        "replay {scheme} ops={} crash_at={} fault={}: {} (fault_applied={}, repaired_leaves={})",
+        case.ops,
+        case.crash_at,
+        case.fault.name(),
+        result.class.name(),
+        result.fault_applied,
+        result.repaired_leaves,
+    );
+    if !result.detail.is_empty() {
+        println!("  detail: {}", result.detail);
+    }
+    match torture::oracle(scheme, cfg, &result) {
+        Ok(()) => {
+            println!("  oracle: ok");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            println!("  oracle: VIOLATION — {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(spec) = &args.replay {
+        return replay(spec, &args.cfg);
+    }
+
+    let report = torture::campaign(&args.cfg, args.points, &args.schemes);
+    for tally in &report.tallies {
+        let outcomes: Vec<String> = tally
+            .outcomes
+            .iter()
+            .map(|(class, n)| format!("{}={n}", class.name()))
+            .collect();
+        println!(
+            "{:<10} cases={} faults_applied={} violations={} [{}]",
+            tally.scheme.to_string(),
+            tally.cases,
+            tally.faults_applied,
+            tally.violations,
+            outcomes.join(" "),
+        );
+    }
+    for v in &report.violations {
+        eprintln!(
+            "VIOLATION {}: {} (shrunk {} steps / {} evals)",
+            v.scheme, v.message, v.shrink_steps, v.evals
+        );
+        eprintln!("  replay: {}", v.replay_command(&args.cfg));
+    }
+
+    if let Some(path) = &args.json_path {
+        let doc = report.to_json().render_doc();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("scue-torture: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if report.total_violations() > 0 {
+        eprintln!("{} oracle violation(s)", report.total_violations());
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "oracle clean: {} schemes × {} points",
+            report.tallies.len(),
+            args.points
+        );
+        ExitCode::SUCCESS
+    }
+}

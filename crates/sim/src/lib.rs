@@ -30,7 +30,12 @@ pub mod config;
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod torture;
 
 pub use config::SystemConfig;
 pub use report::{ReportConfig, RunReport, METRICS_SCHEMA_VERSION};
 pub use runner::{RunResult, System};
+pub use torture::{
+    campaign, CampaignReport, CaseClass, CaseSpec, FaultKind, TortureConfig, ViolationReport,
+    TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION,
+};

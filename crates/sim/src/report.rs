@@ -80,6 +80,7 @@ fn recovery_json(report: &RecoveryReport) -> Json {
         .with("outcome", Json::Str(format!("{:?}", report.outcome)))
         .with("success", Json::Bool(report.outcome.is_success()))
         .with("leaves_checked", Json::U64(report.leaves_checked))
+        .with("repaired_leaves", Json::U64(report.repaired_leaves))
         .with("metadata_fetches", Json::U64(report.metadata_fetches))
         .with("modelled_ns", Json::U64(report.modelled_ns))
         .with(

@@ -9,7 +9,7 @@
 //! memory-access split comes from the controller stats (§V-E).
 
 use crate::config::SystemConfig;
-use scue::{EngineStats, IntegrityError, SecureMemory};
+use scue::{CrashError, EngineStats, SecureMemory};
 use scue_cache::{DataHierarchy, MemSide};
 use scue_crypto::siphash::WordHasher;
 use scue_crypto::SecretKey;
@@ -161,7 +161,7 @@ impl System {
 
     /// Posts a writeback at `now`, applying writeback-buffer
     /// back-pressure; returns the (possibly stalled) core time.
-    fn writeback(&mut self, addr: LineAddr, mut now: Cycle) -> Result<Cycle, IntegrityError> {
+    fn writeback(&mut self, addr: LineAddr, mut now: Cycle) -> Result<Cycle, CrashError> {
         // Back-pressure: a full writeback buffer stalls the core until
         // the oldest posted write completes.
         self.outstanding_writebacks.retain(|&done| done > now);
@@ -189,7 +189,7 @@ impl System {
         core: usize,
         mut now: Cycle,
         outstanding: &mut Vec<Cycle>,
-    ) -> Result<Cycle, IntegrityError> {
+    ) -> Result<Cycle, CrashError> {
         match *op {
             MemOp::Compute(n) => {
                 now += n as u64;
@@ -239,7 +239,7 @@ impl System {
     }
 
     /// Replays one operation on core 0 against the system clock.
-    fn step(&mut self, op: &MemOp, core: usize) -> Result<(), IntegrityError> {
+    fn step(&mut self, op: &MemOp, core: usize) -> Result<(), CrashError> {
         let mut outstanding = std::mem::take(&mut self.outstanding_persists);
         let result = self.exec_op(op, core, self.now, &mut outstanding);
         self.outstanding_persists = outstanding;
@@ -254,7 +254,7 @@ impl System {
     /// # Errors
     ///
     /// Propagates any integrity violation the secure engine detects.
-    pub fn run_trace(&mut self, trace: &Trace) -> Result<RunResult, IntegrityError> {
+    pub fn run_trace(&mut self, trace: &Trace) -> Result<RunResult, CrashError> {
         for op in &trace.ops {
             self.step(op, 0)?;
         }
@@ -268,7 +268,7 @@ impl System {
     /// # Errors
     ///
     /// Propagates any integrity violation detected before the stop.
-    pub fn run_until(&mut self, trace: &Trace, stop_at: Cycle) -> Result<usize, IntegrityError> {
+    pub fn run_until(&mut self, trace: &Trace, stop_at: Cycle) -> Result<usize, CrashError> {
         for (i, op) in trace.ops.iter().enumerate() {
             if self.now >= stop_at {
                 return Ok(i);
@@ -291,7 +291,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if more traces than cores are supplied.
-    pub fn run_traces(&mut self, traces: &[Trace]) -> Result<RunResult, IntegrityError> {
+    pub fn run_traces(&mut self, traces: &[Trace]) -> Result<RunResult, CrashError> {
         assert!(
             traces.len() <= self.hierarchy.cores(),
             "{} traces but only {} cores",
@@ -345,7 +345,7 @@ impl System {
     /// # Errors
     ///
     /// Propagates engine integrity violations.
-    pub fn drain(&mut self) -> Result<(), IntegrityError> {
+    pub fn drain(&mut self) -> Result<(), CrashError> {
         for addr in self.hierarchy.flush_all_dirty() {
             let now = self.now;
             self.now = self.writeback(addr, now)?;

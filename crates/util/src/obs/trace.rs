@@ -103,6 +103,15 @@ pub enum EventKind {
         /// What failed.
         what: &'static str,
     },
+    /// A media fault injected at crash time (torture harness).
+    FaultInjected {
+        /// Raw line address.
+        addr: u64,
+        /// Fault kind name (`"torn_write"`, `"bit_flip"`, ...).
+        kind: &'static str,
+        /// Whether the fault actually changed the stored image.
+        applied: bool,
+    },
 }
 
 impl EventKind {
@@ -123,6 +132,7 @@ impl EventKind {
             EventKind::RecoveryPhaseEnd { .. } => "recovery_phase_end",
             EventKind::TamperInjected { .. } => "tamper_injected",
             EventKind::AttackDetected { .. } => "attack_detected",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -184,6 +194,15 @@ impl TraceEvent {
             EventKind::TamperInjected { addr, what } | EventKind::AttackDetected { addr, what } => {
                 obj.set("addr", Json::U64(addr));
                 obj.set("what", Json::Str(what.into()));
+            }
+            EventKind::FaultInjected {
+                addr,
+                kind,
+                applied,
+            } => {
+                obj.set("addr", Json::U64(addr));
+                obj.set("fault", Json::Str(kind.into()));
+                obj.set("applied", Json::Bool(applied));
             }
         }
         obj
@@ -445,6 +464,11 @@ mod tests {
             EventKind::AttackDetected {
                 addr: 1,
                 what: "mac",
+            },
+            EventKind::FaultInjected {
+                addr: 1,
+                kind: "torn_write",
+                applied: true,
             },
         ];
         let mut names = std::collections::BTreeSet::new();

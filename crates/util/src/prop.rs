@@ -387,6 +387,62 @@ pub fn case_seed(base: u64, index: u32) -> u64 {
     sm.next_u64()
 }
 
+/// Result of one greedy shrink run (see [`shrink_failure`]).
+#[derive(Debug, Clone)]
+pub struct Shrunk<V> {
+    /// The locally minimal failing value.
+    pub minimal: V,
+    /// The failure message produced by the minimal value.
+    pub message: String,
+    /// Number of successful shrink steps applied.
+    pub shrink_steps: u32,
+    /// Total property evaluations spent shrinking.
+    pub evals: u32,
+}
+
+/// Greedily shrinks a known-failing `value`: repeatedly moves to the
+/// first shrink candidate that still fails, until no candidate fails or
+/// `max_evals` evaluations are spent. This is the engine behind
+/// [`run_property`]'s minimisation, exposed so other harnesses (the
+/// crash-torture campaign) can minimise their own counterexamples.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    value: S::Value,
+    first_message: String,
+    max_evals: u32,
+    test: F,
+) -> Shrunk<S::Value>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut minimal = value;
+    let mut message = first_message;
+    let mut evals = 0u32;
+    let mut shrink_steps = 0u32;
+    'shrinking: loop {
+        for candidate in strategy.shrink(&minimal) {
+            if evals >= max_evals {
+                break 'shrinking;
+            }
+            evals += 1;
+            if let Err(m) = test(candidate.clone()) {
+                minimal = candidate;
+                message = m;
+                shrink_steps += 1;
+                continue 'shrinking;
+            }
+        }
+        break;
+    }
+    Shrunk {
+        minimal,
+        message,
+        shrink_steps,
+        evals,
+    }
+}
+
 /// Runs `test` over `config.cases` random inputs; on failure, shrinks
 /// greedily and returns the [`PropFailure`] instead of panicking (the
 /// panicking wrapper the macro uses is [`run`]).
@@ -408,34 +464,20 @@ where
         let Err(first_message) = test(input.clone()) else {
             continue;
         };
-        // Greedy shrink: repeatedly move to the first candidate that
-        // still fails, until no candidate does or the budget runs out.
-        let mut minimal = input.clone();
-        let mut message = first_message;
-        let mut evals = 0u32;
-        let mut shrink_steps = 0u32;
-        'shrinking: loop {
-            for candidate in strategy.shrink(&minimal) {
-                if evals >= config.max_shrink_evals {
-                    break 'shrinking;
-                }
-                evals += 1;
-                if let Err(m) = test(candidate.clone()) {
-                    minimal = candidate;
-                    message = m;
-                    shrink_steps += 1;
-                    continue 'shrinking;
-                }
-            }
-            break;
-        }
+        let shrunk = shrink_failure(
+            strategy,
+            input.clone(),
+            first_message,
+            config.max_shrink_evals,
+            &test,
+        );
         return Err(Box::new(PropFailure {
             case_seed: seed,
             case_index: index,
             original: input,
-            minimal,
-            shrink_steps,
-            message,
+            minimal: shrunk.minimal,
+            shrink_steps: shrunk.shrink_steps,
+            message: shrunk.message,
         }));
     }
     Ok(())
@@ -675,6 +717,23 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), a.len(), "case seeds collided");
+    }
+
+    #[test]
+    fn shrink_failure_minimises_standalone_counterexamples() {
+        // Same "v < 37" property, but starting from a known-failing
+        // value instead of a generated one.
+        let shrunk = shrink_failure(&(0u64..1000), 912, "912 too big".into(), 4096, |v| {
+            if v < 37 {
+                Ok(())
+            } else {
+                Err(format!("{v} too big"))
+            }
+        });
+        assert_eq!(shrunk.minimal, 37);
+        assert!(shrunk.shrink_steps > 0);
+        assert!(shrunk.evals >= shrunk.shrink_steps);
+        assert_eq!(shrunk.message, "37 too big");
     }
 
     #[test]

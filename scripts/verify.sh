@@ -27,6 +27,12 @@ cargo run --release --offline -q -p scue-sim --bin scue-simulate -- \
 cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
     "$metrics_tmp/metrics.json"
 
+echo "==> crash-point torture smoke (scue-torture, 6 schemes x 200 points)"
+cargo run --release --offline -q -p scue-sim --bin scue-torture -- \
+    --seed 1 --points 200 --json "$metrics_tmp/torture.json"
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/torture.json"
+
 echo "==> verifying zero external dependencies"
 # Every line of `cargo tree` must be a workspace crate (scue*) or tree
 # drawing; any other crate name means a crates-io dependency crept in.
