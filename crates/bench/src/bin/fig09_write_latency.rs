@@ -5,27 +5,32 @@
 //!
 //! Besides the normalised table, the harness prints the raw
 //! write-latency percentiles each scheme produced and writes a
-//! machine-readable twin to `results/fig09_write_latency.json`.
+//! machine-readable twin to `results/fig09_write_latency.json`. The
+//! sweep fans every workload×scheme cell out over `--jobs` worker
+//! threads; the twin is byte-identical at any job count apart from its
+//! trailing `provenance` object.
 
 use scue::SchemeKind;
 use scue_bench::{
-    banner, figure_doc, parallel_sweep, print_latency_percentile_table, print_scheme_table,
-    rows_to_json, scale, seed, write_figure_json,
+    banner, figure_doc, jobs_or_die, print_latency_percentile_table, print_scheme_table,
+    provenance, rows_to_json, scale, seed, write_figure_json,
 };
-use scue_sim::experiment::{mean_of, scheme_comparison_row, Metric};
+use scue_sim::experiment::{comparison_grid, mean_of, Metric};
 use scue_util::obs::Json;
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("fig09_write_latency");
     banner("Fig. 9 — write latency normalised to Baseline");
-    let rows = parallel_sweep(&Workload::ALL, |w| {
-        scheme_comparison_row(Metric::WriteLatency, w, scale(), seed())
-    });
+    let started = std::time::Instant::now();
+    let rows = comparison_grid(Metric::WriteLatency, &Workload::ALL, scale(), seed(), jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
     print_scheme_table(&rows);
     println!();
     print_latency_percentile_table(&rows);
     println!();
     println!("paper means: PLP 2.74, Lazy 1.29, BMF-ideal 1.21, SCUE 1.12");
+    println!("sweep wall-clock: {wall_ms} ms at --jobs {jobs}");
 
     let mut means = Json::obj();
     for scheme in SchemeKind::FIGURE_SCHEMES {
@@ -33,6 +38,7 @@ fn main() {
     }
     let doc = figure_doc("scue-fig09-write-latency")
         .with("rows", rows_to_json(&rows))
-        .with("means", means);
+        .with("means", means)
+        .with("provenance", provenance(jobs, wall_ms));
     write_figure_json("fig09_write_latency", &doc);
 }

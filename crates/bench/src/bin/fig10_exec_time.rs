@@ -3,16 +3,18 @@
 //! Paper reference (averages): PLP 1.96×, Lazy 1.17×, BMF-ideal 1.11×,
 //! SCUE 1.07×.
 
-use scue_bench::{banner, parallel_sweep, print_scheme_table, scale, seed};
-use scue_sim::experiment::{scheme_comparison_row, Metric};
+use scue_bench::{banner, jobs_or_die, print_scheme_table, scale, seed};
+use scue_sim::experiment::{comparison_grid, Metric};
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("fig10_exec_time");
     banner("Fig. 10 — execution time normalised to Baseline");
-    let rows = parallel_sweep(&Workload::ALL, |w| {
-        scheme_comparison_row(Metric::ExecTime, w, scale(), seed())
-    });
+    let started = std::time::Instant::now();
+    let rows = comparison_grid(Metric::ExecTime, &Workload::ALL, scale(), seed(), jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
     print_scheme_table(&rows);
     println!();
     println!("paper means: PLP 1.96, Lazy 1.17, BMF-ideal 1.11, SCUE 1.07");
+    println!("sweep wall-clock: {wall_ms} ms at --jobs {jobs}");
 }

@@ -3,18 +3,15 @@
 //!
 //! Paper reference: 1.20× on average (up to 1.36×) at 160 cycles.
 
-use scue_bench::{banner, parallel_sweep, scale, seed};
+use scue_bench::{banner, jobs_or_die, scale, seed};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
 use scue_sim::experiment::{hash_latency_sweep, Metric};
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("fig11_hash_write_latency");
     banner("Fig. 11 — SCUE write latency vs. hash latency (norm. to 20 cyc)");
-    let rows = parallel_sweep(&Workload::ALL, |w| {
-        hash_latency_sweep(Metric::WriteLatency, &[w], scale(), seed())
-            .pop()
-            .expect("one row per workload")
-    });
+    let rows = hash_latency_sweep(Metric::WriteLatency, &Workload::ALL, scale(), seed(), jobs);
     print!("{:>12}", "workload");
     for lat in PAPER_HASH_LATENCIES {
         print!(" {:>9}", format!("{lat}_hash"));

@@ -3,18 +3,15 @@
 //!
 //! Paper reference: 1.14× at 160 cycles.
 
-use scue_bench::{banner, parallel_sweep, scale, seed};
+use scue_bench::{banner, jobs_or_die, scale, seed};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
 use scue_sim::experiment::{hash_latency_sweep, Metric};
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("fig12_hash_exec_time");
     banner("Fig. 12 — SCUE execution time vs. hash latency (norm. to 20 cyc)");
-    let rows = parallel_sweep(&Workload::ALL, |w| {
-        hash_latency_sweep(Metric::ExecTime, &[w], scale(), seed())
-            .pop()
-            .expect("one row per workload")
-    });
+    let rows = hash_latency_sweep(Metric::ExecTime, &Workload::ALL, scale(), seed(), jobs);
     print!("{:>12}", "workload");
     for lat in PAPER_HASH_LATENCIES {
         print!(" {:>9}", format!("{lat}_hash"));

@@ -10,9 +10,10 @@
 
 use scue::fastrec::{recovery_cost, FastRecovery, RecoveryCost, FIG13_CACHE_SIZES};
 use scue::{SchemeKind, SecureMemConfig, SecureMemory};
-use scue_bench::{banner, figure_doc, write_figure_json};
+use scue_bench::{banner, figure_doc, jobs_or_die, provenance, write_figure_json};
 use scue_nvm::LineAddr;
 use scue_util::obs::Json;
+use scue_util::par;
 
 fn cost_json(cost: &RecoveryCost) -> Json {
     let phase = |fetches: u64, ns: u64| {
@@ -34,14 +35,21 @@ fn cost_json(cost: &RecoveryCost) -> Json {
 }
 
 fn main() {
+    let jobs = jobs_or_die("fig13_recovery_time");
     banner("Fig. 13 — recovery time vs. metadata cache size");
+    let started = std::time::Instant::now();
+    // One cell per cache size: the analytic STAR/AGIT pair.
+    let costs = par::run_indexed(jobs, &FIG13_CACHE_SIZES, |_, &bytes, _| {
+        (
+            recovery_cost(FastRecovery::Star, bytes),
+            recovery_cost(FastRecovery::Agit, bytes),
+        )
+    });
     println!(
         "{:>12} {:>14} {:>14} {:>14}",
         "md cache", "stale nodes", "SCUE-STAR (s)", "SCUE-AGIT (s)"
     );
-    for bytes in FIG13_CACHE_SIZES {
-        let star = recovery_cost(FastRecovery::Star, bytes);
-        let agit = recovery_cost(FastRecovery::Agit, bytes);
+    for (&bytes, (star, agit)) in FIG13_CACHE_SIZES.iter().zip(&costs) {
         println!(
             "{:>9} KB {:>14} {:>14.4} {:>14.4}",
             bytes / 1024,
@@ -73,17 +81,17 @@ fn main() {
         report.outcome
     );
 
+    let wall_ms = started.elapsed().as_millis() as u64;
     let points = Json::Arr(
         FIG13_CACHE_SIZES
             .iter()
-            .map(|&bytes| {
-                let star = recovery_cost(FastRecovery::Star, bytes);
-                let agit = recovery_cost(FastRecovery::Agit, bytes);
+            .zip(&costs)
+            .map(|(&bytes, (star, agit))| {
                 Json::obj()
                     .with("mdcache_bytes", Json::U64(bytes))
                     .with("stale_nodes", Json::U64(star.stale_nodes))
-                    .with("scue_star", cost_json(&star))
-                    .with("scue_agit", cost_json(&agit))
+                    .with("scue_star", cost_json(star))
+                    .with("scue_agit", cost_json(agit))
             })
             .collect(),
     );
@@ -102,6 +110,7 @@ fn main() {
         );
     let doc = figure_doc("scue-fig13-recovery-time")
         .with("points", points)
-        .with("measured_full_reconstruction", measured);
+        .with("measured_full_reconstruction", measured)
+        .with("provenance", provenance(jobs, wall_ms));
     write_figure_json("fig13_recovery_time", &doc);
 }

@@ -5,17 +5,14 @@
 //! vs Lazy; SCUE ≈ Lazy.
 
 use scue::SchemeKind;
-use scue_bench::{banner, parallel_sweep, scale, seed};
+use scue_bench::{banner, jobs_or_die, scale, seed};
 use scue_sim::experiment::metadata_accesses_vs_lazy;
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("memaccess");
     banner("§V-E — metadata memory accesses normalised to Lazy");
-    let rows = parallel_sweep(&Workload::ALL, |w| {
-        metadata_accesses_vs_lazy(&[w], scale(), seed())
-            .pop()
-            .expect("one row")
-    });
+    let rows = metadata_accesses_vs_lazy(&Workload::ALL, scale(), seed(), jobs);
     println!(
         "{:>12} {:>10} {:>10} {:>10}",
         "workload", "PLP", "BMF-ideal", "SCUE"

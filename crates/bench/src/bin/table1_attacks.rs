@@ -3,8 +3,9 @@
 
 use scue::attack;
 use scue::{RecoveryOutcome, SchemeKind, SecureMemConfig, SecureMemory};
-use scue_bench::banner;
+use scue_bench::{banner, jobs_or_die};
 use scue_nvm::LineAddr;
+use scue_util::par;
 
 fn victim() -> (SecureMemory, attack::ReplayCapsule) {
     let mut mem = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
@@ -33,29 +34,31 @@ fn verdict(outcome: RecoveryOutcome) -> (&'static str, &'static str) {
 }
 
 fn main() {
+    let jobs = jobs_or_die("table1_attacks");
     banner("Table I — attack detection by HMACs vs. Recovery_root");
-    let cases: [(&str, fn(&mut SecureMemory, &attack::ReplayCapsule)); 3] = [
+    // Each attack case owns a fresh victim image, so the four cells are
+    // independent and fan out over the worker threads.
+    let cases: [(&str, fn(&mut SecureMemory, &attack::ReplayCapsule)); 4] = [
         ("roll-forward", |m, _| attack::roll_forward_leaf(m, 2, 3)),
         ("roll-back", |m, c| attack::roll_back_leaf(m, c)),
         ("roll-forward+back", |m, c| {
             attack::roll_back_and_forward(m, c, 3, 1)
         }),
+        // The replay special case of roll-back: detected only by the root.
+        ("roll-back (replay)", |m, c| attack::replay_leaf(m, c)),
     ];
+    let verdicts = par::run_indexed(jobs, &cases, |_, &(_, inject), _| {
+        let (mut mem, capsule) = victim();
+        inject(&mut mem, &capsule);
+        verdict(mem.recover().outcome)
+    });
     println!(
         "{:>22} {:>16} {:>16}",
         "attack", "leaf HMACs", "Recovery_root"
     );
-    for (name, inject) in cases {
-        let (mut mem, capsule) = victim();
-        inject(&mut mem, &capsule);
-        let (hmac, root) = verdict(mem.recover().outcome);
+    for ((name, _), (hmac, root)) in cases.iter().zip(&verdicts) {
         println!("{name:>22} {hmac:>16} {root:>16}");
     }
-    // The replay special case of roll-back: detected only by the root.
-    let (mut mem, capsule) = victim();
-    attack::replay_leaf(&mut mem, &capsule);
-    let (hmac, root) = verdict(mem.recover().outcome);
-    println!("{:>22} {hmac:>16} {root:>16}", "roll-back (replay)");
     println!();
     println!("paper Table I: forward->HMACs, back->HMACs+root, combined->HMACs");
 }

@@ -6,11 +6,12 @@
 //! viewed through the endurance lens.
 
 use scue::SchemeKind;
-use scue_bench::{banner, parallel_sweep, scale, seed};
+use scue_bench::{banner, jobs_or_die, parallel_sweep, scale, seed};
 use scue_sim::{System, SystemConfig};
 use scue_workloads::Workload;
 
 fn main() {
+    let jobs = jobs_or_die("write_amplification");
     banner("Ablation — NVM write amplification (writes per persisted line)");
     let workloads = [
         Workload::Array,
@@ -25,7 +26,7 @@ fn main() {
     }
     println!(" {:>9}", "mean");
     for scheme in SchemeKind::ALL {
-        let amps = parallel_sweep(&workloads, |w| {
+        let amps = parallel_sweep(jobs, &workloads, |w| {
             let trace = w.generate(scale() / 4, seed());
             let mut system = System::new(SystemConfig::figure(scheme));
             let r = system.run_trace(&trace).expect("clean run");

@@ -8,11 +8,14 @@
 //!
 //! Dispatches on the document's `kind` tag. For run metrics: expected
 //! schema version, every required section present, write-latency
-//! percentiles ordered (`p50 <= p95 <= p99 <= max`). For torture
-//! campaigns: expected schema version, non-empty scheme tallies whose
-//! outcome histograms partition the cases, and a violation list
-//! consistent with `total_violations`. Prints the first violation and
-//! exits 1 otherwise.
+//! percentiles ordered (`p50 <= p95 <= p99 <= max`), a positive
+//! `config.jobs` provenance field, and — on crash runs — an integer
+//! `recovery.repaired_leaves`. For torture campaigns: expected schema
+//! version, non-empty scheme tallies whose outcome histograms partition
+//! the cases and whose `repaired_leaves` covers the `repaired_counter`
+//! outcome count, a violation list consistent with `total_violations`,
+//! and — when present — a positive `provenance.jobs`. Prints the first
+//! violation and exits 1 otherwise.
 
 use scue_sim::torture::CaseClass;
 use scue_sim::{METRICS_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION};
@@ -78,6 +81,36 @@ fn check(doc: &Json) -> Result<(), String> {
         .and_then(|m| m.get("hit_rate"))
         .and_then(Json::as_f64)
         .ok_or("mdcache.hit_rate is not a number")?;
+    let jobs = doc
+        .get("config")
+        .and_then(|c| c.get("jobs"))
+        .and_then(Json::as_u64)
+        .ok_or("config.jobs is not an integer")?;
+    if jobs == 0 {
+        return Err("config.jobs must be at least 1".to_string());
+    }
+    if let Some(recovery) = doc.get("recovery") {
+        recovery
+            .get("repaired_leaves")
+            .and_then(Json::as_u64)
+            .ok_or("recovery.repaired_leaves is not an integer")?;
+    }
+    Ok(())
+}
+
+/// Validates the optional `provenance` object exported by the torture
+/// and figure bins: when present, a positive integer job count.
+fn check_provenance(doc: &Json) -> Result<(), String> {
+    let Some(provenance) = doc.get("provenance") else {
+        return Ok(());
+    };
+    let jobs = provenance
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .ok_or("provenance.jobs is not an integer")?;
+    if jobs == 0 {
+        return Err("provenance.jobs must be at least 1".to_string());
+    }
     Ok(())
 }
 
@@ -129,6 +162,22 @@ fn check_torture(doc: &Json) -> Result<(), String> {
                 "{name}: outcome tallies sum to {sum}, expected {cases} cases"
             ));
         }
+        // Every repaired_counter case repairs at least one leaf, so the
+        // per-scheme repaired-leaf total must cover the outcome count.
+        let repaired_leaves = entry
+            .get("repaired_leaves")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `repaired_leaves` is not an integer"))?;
+        let repaired_cases = outcomes
+            .get(CaseClass::RepairedCounter.name())
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if repaired_leaves < repaired_cases {
+            return Err(format!(
+                "{name}: repaired_leaves {repaired_leaves} below \
+                 repaired_counter outcome count {repaired_cases}"
+            ));
+        }
         violation_sum += entry
             .get("oracle_violations")
             .and_then(Json::as_u64)
@@ -156,7 +205,7 @@ fn check_torture(doc: &Json) -> Result<(), String> {
             .filter(|r| r.contains("--replay"))
             .ok_or("violation entry without a usable `replay` command")?;
     }
-    Ok(())
+    check_provenance(doc)
 }
 
 fn main() {
@@ -188,4 +237,90 @@ fn main() {
         kind
     };
     println!("{path}: ok ({label} schema v{version})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scue::SchemeKind;
+    use scue_sim::torture::{self, TortureConfig};
+
+    fn campaign_doc() -> Json {
+        let cfg = TortureConfig {
+            seed: 7,
+            ops: 60,
+            eadr: false,
+            strict_baseline: false,
+        };
+        torture::campaign(&cfg, 7, &[SchemeKind::Scue, SchemeKind::Baseline]).to_json()
+    }
+
+    #[test]
+    fn live_campaign_docs_pass() {
+        let mut doc = campaign_doc();
+        check_torture(&doc).unwrap();
+        // With the bins' provenance attached, still fine.
+        doc.set(
+            "provenance",
+            Json::obj()
+                .with("jobs", Json::U64(4))
+                .with("wall_ms", Json::U64(12)),
+        );
+        check_torture(&doc).unwrap();
+    }
+
+    #[test]
+    fn missing_repaired_leaves_is_rejected() {
+        let rendered = campaign_doc()
+            .render_doc()
+            .replace("\"repaired_leaves\"", "\"renamed\"");
+        let doc = Json::parse(&rendered).unwrap();
+        let err = check_torture(&doc).unwrap_err();
+        assert!(err.contains("repaired_leaves"), "{err}");
+    }
+
+    #[test]
+    fn zero_provenance_jobs_is_rejected() {
+        let mut doc = campaign_doc();
+        doc.set("provenance", Json::obj().with("jobs", Json::U64(0)));
+        let err = check_torture(&doc).unwrap_err();
+        assert!(err.contains("provenance.jobs"), "{err}");
+    }
+
+    /// A minimal torture doc with one scheme that claims
+    /// `repaired_counter` outcomes but only `repaired_leaves` repairs.
+    fn doc_with_repairs(repaired_cases: u64, repaired_leaves: u64) -> Json {
+        let mut outcomes = Json::obj();
+        for class in CaseClass::ALL {
+            outcomes.set(class.name(), Json::U64(0));
+        }
+        outcomes.set(CaseClass::RepairedCounter.name(), Json::U64(repaired_cases));
+        let scheme = Json::obj()
+            .with("scheme", Json::Str("SCUE".into()))
+            .with("cases", Json::U64(repaired_cases))
+            .with("faults_applied", Json::U64(repaired_cases))
+            .with("outcomes", outcomes)
+            .with("repaired_leaves", Json::U64(repaired_leaves))
+            .with("oracle_violations", Json::U64(0));
+        Json::obj()
+            .with("schema_version", Json::U64(TORTURE_SCHEMA_VERSION))
+            .with("kind", Json::Str(TORTURE_DOC_KIND.into()))
+            .with("seed", Json::U64(1))
+            .with("points", Json::U64(1))
+            .with("ops", Json::U64(1))
+            .with("total_violations", Json::U64(0))
+            .with("schemes", Json::Arr(vec![scheme]))
+            .with("violations", Json::Arr(vec![]))
+    }
+
+    #[test]
+    fn repaired_leaves_below_outcome_count_is_rejected() {
+        // Every repaired_counter case repairs at least one leaf, so a
+        // tally claiming 3 repaired cases but only 2 repaired leaves
+        // under-reports and must fail the coverage check.
+        check_torture(&doc_with_repairs(3, 3)).unwrap();
+        check_torture(&doc_with_repairs(3, 7)).unwrap();
+        let err = check_torture(&doc_with_repairs(3, 2)).unwrap_err();
+        assert!(err.contains("below"), "{err}");
+    }
 }

@@ -5,13 +5,19 @@
 //! ```text
 //! scue-simulate [--scheme SCHEME] [--workload NAME] [--ops N]
 //!               [--seed N] [--hash-latency CYC] [--cores N]
-//!               [--crash-at CYCLE] [--eadr]
+//!               [--crash-at CYCLE] [--eadr] [--jobs N]
 //!               [--metrics-json PATH] [--trace-events PATH]
 //!               [--sample-interval CYCLES]
 //! ```
+//!
+//! `--jobs` (default: available parallelism, `SCUE_JOBS` overridable)
+//! fans per-core trace generation out over worker threads; each core's
+//! trace is a pure function of `seed + core`, so the run is
+//! byte-identical at any job count.
 
 use scue::{CrashError, SchemeKind, SecureMemConfig};
 use scue_sim::{ReportConfig, RunReport, System, SystemConfig};
+use scue_util::par;
 use scue_workloads::{Trace, Workload};
 
 /// Default epoch length when sampling is on but no interval was given.
@@ -30,6 +36,7 @@ struct Args {
     cores: usize,
     crash_at: Option<u64>,
     eadr: bool,
+    jobs: Option<usize>,
     metrics_json: Option<String>,
     trace_events: Option<String>,
     sample_interval: Option<u64>,
@@ -40,7 +47,7 @@ fn usage() -> ! {
     eprintln!("                     [--workload array|btree|hash|queue|rbtree|lbm|mcf|");
     eprintln!("                      libquantum|omnetpp|milc|soplex|gcc|bwaves]");
     eprintln!("                     [--ops N] [--seed N] [--hash-latency 20|40|80|160]");
-    eprintln!("                     [--cores N] [--crash-at CYCLE] [--eadr]");
+    eprintln!("                     [--cores N] [--crash-at CYCLE] [--eadr] [--jobs N]");
     eprintln!("                     [--metrics-json PATH] [--trace-events PATH]");
     eprintln!("                     [--sample-interval CYCLES]");
     std::process::exit(2);
@@ -76,6 +83,7 @@ fn parse_args_from(mut it: impl Iterator<Item = String>) -> Result<Args, String>
         cores: 1,
         crash_at: None,
         eadr: false,
+        jobs: None,
         metrics_json: None,
         trace_events: None,
         sample_interval: None,
@@ -107,6 +115,14 @@ fn parse_args_from(mut it: impl Iterator<Item = String>) -> Result<Args, String>
             "--cores" => args.cores = parsed("--cores", &value("--cores")?)?,
             "--crash-at" => args.crash_at = Some(parsed("--crash-at", &value("--crash-at")?)?),
             "--eadr" => args.eadr = true,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let jobs: usize = parsed("--jobs", &v)?;
+                if jobs == 0 {
+                    return Err(format!("invalid value for --jobs: `{v}`"));
+                }
+                args.jobs = Some(jobs);
+            }
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--trace-events" => args.trace_events = Some(value("--trace-events")?),
             "--sample-interval" => {
@@ -168,6 +184,10 @@ fn export(args: &Args, system: &System, report: &RunReport) {
 
 fn main() {
     let args = parse_args();
+    let jobs = par::resolve_jobs(args.jobs).unwrap_or_else(|msg| {
+        eprintln!("scue-simulate: {msg}");
+        usage();
+    });
     let mem = SecureMemConfig::paper(args.scheme)
         .with_hash_latency(args.hash_latency)
         .with_eadr(args.eadr);
@@ -194,6 +214,7 @@ fn main() {
         cores: args.cores as u64,
         hash_latency: args.hash_latency,
         eadr: args.eadr,
+        jobs: jobs as u64,
     };
 
     println!(
@@ -231,9 +252,10 @@ fn main() {
         std::process::exit(if recovery.outcome.is_success() { 0 } else { 1 });
     }
 
-    let traces: Vec<Trace> = (0..args.cores)
-        .map(|i| args.workload.generate(args.ops, args.seed + i as u64))
-        .collect();
+    let cores: Vec<usize> = (0..args.cores).collect();
+    let traces: Vec<Trace> = par::run_indexed(jobs, &cores, |_, &i, _| {
+        args.workload.generate(args.ops, args.seed + i as u64)
+    });
     let result = match system.run_traces(&traces) {
         Ok(result) => result,
         Err(e) => die_on_error(args.scheme, system.now(), e),
@@ -320,6 +342,8 @@ mod tests {
             "--eadr",
             "--sample-interval",
             "1000",
+            "--jobs",
+            "3",
         ])
         .unwrap();
         assert_eq!(args.scheme, SchemeKind::Plp);
@@ -331,6 +355,12 @@ mod tests {
         assert_eq!(args.crash_at, Some(12345));
         assert!(args.eadr);
         assert_eq!(args.sample_interval, Some(1000));
+        assert_eq!(args.jobs, Some(3));
+    }
+
+    #[test]
+    fn jobs_defaults_to_unset_so_env_and_parallelism_apply() {
+        assert_eq!(parse(&[]).unwrap().jobs, None);
     }
 
     #[test]
@@ -343,6 +373,8 @@ mod tests {
             (vec!["--scheme", "mercury"], "--scheme", "mercury"),
             (vec!["--workload", "nope"], "--workload", "nope"),
             (vec!["--sample-interval", "0"], "--sample-interval", "0"),
+            (vec!["--jobs", "0"], "--jobs", "0"),
+            (vec!["--jobs", "four"], "--jobs", "four"),
         ] {
             let err = parse(&tokens).unwrap_err();
             assert!(err.contains(flag), "{err:?} must name {flag}");

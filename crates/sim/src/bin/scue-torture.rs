@@ -9,71 +9,72 @@
 //! ```text
 //! scue-torture [--seed N] [--points N] [--ops N] [--eadr]
 //!              [--scheme NAME] [--json PATH] [--strict-baseline]
-//!              [--replay scheme:ops:crash_at:fault]
+//!              [--jobs N] [--replay scheme:ops:crash_at:fault]
 //! ```
+//!
+//! `--jobs` (default: available parallelism, overridable via the
+//! `SCUE_JOBS` environment variable) fans the campaign's crash cases
+//! out over worker threads. The campaign report — and the `--json`
+//! payload — is byte-identical at any job count; only the trailing
+//! `provenance` object (job count, wall-clock) varies.
 //!
 //! Exits 0 on a clean campaign, 1 on oracle violations (or a violating
 //! replay), 2 on usage errors.
 
 use scue::SchemeKind;
 use scue_sim::torture::{self, CaseSpec, TortureConfig};
+use scue_util::obs::Json;
+use scue_util::par;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Args {
     cfg: TortureConfig,
     points: usize,
     schemes: Vec<SchemeKind>,
     json_path: Option<String>,
     replay: Option<String>,
+    jobs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: scue-torture [--seed N] [--points N] [--ops N] [--eadr] \
          [--scheme baseline|lazy|eager|plp|bmf|scue] [--json PATH] \
-         [--strict-baseline] [--replay scheme:ops:crash_at:fault]"
+         [--strict-baseline] [--jobs N] [--replay scheme:ops:crash_at:fault]"
     );
     std::process::exit(2);
 }
 
-fn bad(flag: &str, value: &str) -> ! {
-    eprintln!("scue-torture: invalid value for {flag}: `{value}`");
-    usage();
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        cfg: TortureConfig::default(),
-        points: 200,
-        schemes: SchemeKind::ALL.to_vec(),
-        json_path: None,
-        replay: None,
-    };
-    let mut it = std::env::args().skip(1);
+/// Parses the command line against an explicit `SCUE_JOBS` value,
+/// naming the offending flag (or environment variable) and value on
+/// any error — separately testable from the process-exiting wrapper.
+fn parse_args_from(
+    mut it: impl Iterator<Item = String>,
+    env_jobs: Option<&str>,
+) -> Result<Args, String> {
+    let mut cfg = TortureConfig::default();
+    let mut points = 200usize;
+    let mut schemes = SchemeKind::ALL.to_vec();
+    let mut json_path = None;
+    let mut replay = None;
+    let mut jobs_flag: Option<usize> = None;
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("scue-torture: {flag} requires a value");
-                usage();
-            })
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
         };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("invalid value for {flag}: `{v}`"))
+        }
         match flag.as_str() {
-            "--seed" => {
-                let v = value("--seed");
-                args.cfg.seed = v.parse().unwrap_or_else(|_| bad("--seed", &v));
-            }
-            "--points" => {
-                let v = value("--points");
-                args.points = v.parse().unwrap_or_else(|_| bad("--points", &v));
-            }
-            "--ops" => {
-                let v = value("--ops");
-                args.cfg.ops = v.parse().unwrap_or_else(|_| bad("--ops", &v));
-            }
-            "--eadr" => args.cfg.eadr = true,
-            "--strict-baseline" => args.cfg.strict_baseline = true,
+            "--seed" => cfg.seed = parsed("--seed", &value("--seed")?)?,
+            "--points" => points = parsed("--points", &value("--points")?)?,
+            "--ops" => cfg.ops = parsed("--ops", &value("--ops")?)?,
+            "--eadr" => cfg.eadr = true,
+            "--strict-baseline" => cfg.strict_baseline = true,
             "--scheme" => {
-                let v = value("--scheme");
+                let v = value("--scheme")?;
                 let scheme = match v.as_str() {
                     "baseline" => SchemeKind::Baseline,
                     "lazy" => SchemeKind::Lazy,
@@ -81,26 +82,50 @@ fn parse_args() -> Args {
                     "plp" => SchemeKind::Plp,
                     "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
                     "scue" => SchemeKind::Scue,
-                    _ => bad("--scheme", &v),
+                    _ => return Err(format!("invalid value for --scheme: `{v}`")),
                 };
-                args.schemes = vec![scheme];
+                schemes = vec![scheme];
             }
-            "--json" => args.json_path = Some(value("--json")),
-            "--replay" => args.replay = Some(value("--replay")),
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("scue-torture: unknown flag `{other}`");
-                usage();
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let jobs: usize = parsed("--jobs", &v)?;
+                if jobs == 0 {
+                    return Err(format!("invalid value for --jobs: `{v}`"));
+                }
+                jobs_flag = Some(jobs);
             }
+            "--json" => json_path = Some(value("--json")?),
+            "--replay" => replay = Some(value("--replay")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    args
+    let jobs = par::resolve_jobs_from(jobs_flag, env_jobs)?;
+    Ok(Args {
+        cfg,
+        points,
+        schemes,
+        json_path,
+        replay,
+        jobs,
+    })
+}
+
+fn parse_args() -> Args {
+    let env = std::env::var(par::JOBS_ENV).ok();
+    parse_args_from(std::env::args().skip(1), env.as_deref()).unwrap_or_else(|msg| {
+        if !msg.is_empty() {
+            eprintln!("scue-torture: {msg}");
+        }
+        usage();
+    })
 }
 
 /// Re-runs one minimised case and reports the oracle's verdict.
 fn replay(spec: &str, cfg: &TortureConfig) -> ExitCode {
     let Some((scheme, case)) = CaseSpec::parse_replay(spec) else {
-        bad("--replay", spec);
+        eprintln!("scue-torture: invalid value for --replay: `{spec}`");
+        usage();
     };
     let result = torture::run_case(scheme, cfg, case);
     println!(
@@ -133,7 +158,9 @@ fn main() -> ExitCode {
         return replay(spec, &args.cfg);
     }
 
-    let report = torture::campaign(&args.cfg, args.points, &args.schemes);
+    let started = std::time::Instant::now();
+    let report = torture::campaign_with_jobs(&args.cfg, args.points, &args.schemes, args.jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
     for tally in &report.tallies {
         let outcomes: Vec<String> = tally
             .outcomes
@@ -141,10 +168,11 @@ fn main() -> ExitCode {
             .map(|(class, n)| format!("{}={n}", class.name()))
             .collect();
         println!(
-            "{:<10} cases={} faults_applied={} violations={} [{}]",
+            "{:<10} cases={} faults_applied={} repaired_leaves={} violations={} [{}]",
             tally.scheme.to_string(),
             tally.cases,
             tally.faults_applied,
+            tally.repaired_leaves,
             tally.violations,
             outcomes.join(" "),
         );
@@ -156,10 +184,20 @@ fn main() -> ExitCode {
         );
         eprintln!("  replay: {}", v.replay_command(&args.cfg));
     }
+    println!("campaign wall-clock: {wall_ms} ms at --jobs {}", args.jobs);
 
     if let Some(path) = &args.json_path {
-        let doc = report.to_json().render_doc();
-        if let Err(e) = std::fs::write(path, doc) {
+        // The campaign payload is byte-identical at any job count; the
+        // run's provenance rides in a trailing object so tooling can
+        // strip it before diffing (see scripts/verify.sh).
+        let mut doc = report.to_json();
+        doc.set(
+            "provenance",
+            Json::obj()
+                .with("jobs", Json::U64(args.jobs as u64))
+                .with("wall_ms", Json::U64(wall_ms)),
+        );
+        if let Err(e) = std::fs::write(path, doc.render_doc()) {
             eprintln!("scue-torture: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -176,5 +214,106 @@ fn main() -> ExitCode {
             args.points
         );
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str], env_jobs: Option<&str>) -> Result<Args, String> {
+        parse_args_from(tokens.iter().map(|s| s.to_string()), env_jobs)
+    }
+
+    #[test]
+    fn defaults_parse_clean() {
+        let args = parse(&[], None).unwrap();
+        assert_eq!(args.points, 200);
+        assert_eq!(args.schemes, SchemeKind::ALL.to_vec());
+        assert!(args.jobs >= 1);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(
+            &[
+                "--seed",
+                "9",
+                "--points",
+                "50",
+                "--ops",
+                "80",
+                "--eadr",
+                "--strict-baseline",
+                "--scheme",
+                "scue",
+                "--jobs",
+                "4",
+                "--json",
+                "out.json",
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(args.cfg.seed, 9);
+        assert_eq!(args.points, 50);
+        assert_eq!(args.cfg.ops, 80);
+        assert!(args.cfg.eadr);
+        assert!(args.cfg.strict_baseline);
+        assert_eq!(args.schemes, vec![SchemeKind::Scue]);
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.json_path.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn bad_jobs_values_name_the_flag_and_value() {
+        for bad in ["0", "four", "", "-1", "2.5"] {
+            let err = parse(&["--jobs", bad], None).unwrap_err();
+            assert!(err.contains("--jobs"), "{err:?}");
+            assert!(err.contains(&format!("`{bad}`")), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn env_jobs_applies_and_flag_wins() {
+        assert_eq!(parse(&[], Some("6")).unwrap().jobs, 6);
+        assert_eq!(parse(&["--jobs", "2"], Some("6")).unwrap().jobs, 2);
+    }
+
+    #[test]
+    fn bad_env_jobs_is_an_error_even_when_the_flag_wins() {
+        for bad in ["0", "lots", ""] {
+            let err = parse(&[], Some(bad)).unwrap_err();
+            assert!(err.contains("SCUE_JOBS"), "{err:?}");
+            assert!(err.contains(&format!("`{bad}`")), "{err:?}");
+            // A conflicting garbled override still errors with the flag set.
+            let err2 = parse(&["--jobs", "3"], Some(bad)).unwrap_err();
+            assert_eq!(err, err2);
+        }
+    }
+
+    #[test]
+    fn bad_values_name_the_flag_and_value() {
+        for (tokens, flag, value) in [
+            (vec!["--seed", "x"], "--seed", "x"),
+            (vec!["--points", "-1"], "--points", "-1"),
+            (vec!["--ops", "1.5"], "--ops", "1.5"),
+            (vec!["--scheme", "mercury"], "--scheme", "mercury"),
+        ] {
+            let err = parse(&tokens, None).unwrap_err();
+            assert!(err.contains(flag), "{err:?} must name {flag}");
+            assert!(
+                err.contains(&format!("`{value}`")),
+                "{err:?} must show `{value}`"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_errors() {
+        assert!(parse(&["--points"], None).unwrap_err().contains("--points"));
+        assert!(parse(&["--frobnicate"], None)
+            .unwrap_err()
+            .contains("--frobnicate"));
     }
 }

@@ -5,12 +5,21 @@
 //! series the corresponding figure plots. The bench harness binaries
 //! print them; the `figure_shapes` integration test asserts their shape
 //! (who wins, by roughly what factor).
+//!
+//! Every grid takes a `jobs` count and fans its cells out on
+//! [`scue_util::par::run_indexed`]: one cell per `scheme × workload`
+//! (or `hash-latency × workload`) measurement. A cell is a pure
+//! function of its parameters — the trace is regenerated from
+//! `(workload, scale, seed)` inside the cell — so the assembled rows,
+//! and any JSON rendered from them, are byte-identical at every job
+//! count (pinned by the `par_determinism` integration test).
 
 use crate::config::SystemConfig;
 use crate::runner::System;
 use scue::{LatencyStats, SchemeKind};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
 use scue_util::obs::Json;
+use scue_util::par;
 use scue_workloads::Workload;
 
 /// Digest of one run's raw write-latency distribution, in cycles — the
@@ -130,63 +139,95 @@ fn measure_run(
     (value, LatencySummary::of(&result.engine.write_latency))
 }
 
-fn measure(
+/// Measures one `(workload, scheme)` grid of cells in parallel,
+/// returning cell results in `workload-major × scheme-minor` order.
+fn measure_grid(
     metric: Metric,
-    system_cfg: SystemConfig,
-    workload: Workload,
+    workloads: &[Workload],
+    schemes: &[SchemeKind],
     scale: usize,
     seed: u64,
-) -> f64 {
-    measure_run(metric, system_cfg, workload, scale, seed).0
+    jobs: usize,
+) -> Vec<(f64, LatencySummary)> {
+    let cells: Vec<(Workload, SchemeKind)> = workloads
+        .iter()
+        .flat_map(|&w| schemes.iter().map(move |&s| (w, s)))
+        .collect();
+    par::run_indexed(jobs, &cells, |_, &(workload, scheme), _| {
+        measure_run(metric, SystemConfig::figure(scheme), workload, scale, seed)
+    })
 }
 
 /// Runs one workload under Baseline + the four figure schemes and
-/// normalises.
+/// normalises (one row of [`comparison_grid`]).
 pub fn scheme_comparison_row(
     metric: Metric,
     workload: Workload,
     scale: usize,
     seed: u64,
 ) -> WorkloadRow {
-    let (baseline_raw, baseline_summary) = measure_run(
-        metric,
-        SystemConfig::figure(SchemeKind::Baseline),
-        workload,
-        scale,
-        seed,
-    );
-    let mut summaries = vec![(SchemeKind::Baseline, baseline_summary)];
-    let normalized = SchemeKind::FIGURE_SCHEMES
-        .iter()
-        .map(|&scheme| {
-            let (raw, summary) =
-                measure_run(metric, SystemConfig::figure(scheme), workload, scale, seed);
-            summaries.push((scheme, summary));
-            (scheme, raw / baseline_raw.max(1.0))
-        })
+    comparison_grid(metric, &[workload], scale, seed, 1)
+        .pop()
+        .expect("one workload, one row")
+}
+
+/// Runs every workload under Baseline + the four figure schemes on up
+/// to `jobs` threads — one parallel cell per `scheme × workload` — and
+/// normalises each row to its Baseline cell.
+pub fn comparison_grid(
+    metric: Metric,
+    workloads: &[Workload],
+    scale: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<WorkloadRow> {
+    let schemes: Vec<SchemeKind> = std::iter::once(SchemeKind::Baseline)
+        .chain(SchemeKind::FIGURE_SCHEMES)
         .collect();
-    WorkloadRow {
-        workload,
-        baseline_raw,
-        normalized,
-        summaries,
-    }
+    let measured = measure_grid(metric, workloads, &schemes, scale, seed, jobs);
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, &workload)| {
+            let row = &measured[wi * schemes.len()..(wi + 1) * schemes.len()];
+            let (baseline_raw, baseline_summary) = row[0];
+            let mut summaries = vec![(SchemeKind::Baseline, baseline_summary)];
+            let normalized = SchemeKind::FIGURE_SCHEMES
+                .iter()
+                .zip(&row[1..])
+                .map(|(&scheme, &(raw, summary))| {
+                    summaries.push((scheme, summary));
+                    (scheme, raw / baseline_raw.max(1.0))
+                })
+                .collect();
+            WorkloadRow {
+                workload,
+                baseline_raw,
+                normalized,
+                summaries,
+            }
+        })
+        .collect()
 }
 
 /// Fig. 9: write latencies normalised to Baseline, per workload.
-pub fn fig9_write_latency(workloads: &[Workload], scale: usize, seed: u64) -> Vec<WorkloadRow> {
-    workloads
-        .iter()
-        .map(|&w| scheme_comparison_row(Metric::WriteLatency, w, scale, seed))
-        .collect()
+pub fn fig9_write_latency(
+    workloads: &[Workload],
+    scale: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<WorkloadRow> {
+    comparison_grid(Metric::WriteLatency, workloads, scale, seed, jobs)
 }
 
 /// Fig. 10: execution time normalised to Baseline, per workload.
-pub fn fig10_exec_time(workloads: &[Workload], scale: usize, seed: u64) -> Vec<WorkloadRow> {
-    workloads
-        .iter()
-        .map(|&w| scheme_comparison_row(Metric::ExecTime, w, scale, seed))
-        .collect()
+pub fn fig10_exec_time(
+    workloads: &[Workload],
+    scale: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<WorkloadRow> {
+    comparison_grid(Metric::ExecTime, workloads, scale, seed, jobs)
 }
 
 /// §V-E: metadata memory accesses normalised to the Lazy scheme.
@@ -194,29 +235,32 @@ pub fn metadata_accesses_vs_lazy(
     workloads: &[Workload],
     scale: usize,
     seed: u64,
+    jobs: usize,
 ) -> Vec<(Workload, Vec<(SchemeKind, f64)>)> {
+    let schemes = [
+        SchemeKind::Lazy,
+        SchemeKind::Plp,
+        SchemeKind::BmfIdeal,
+        SchemeKind::Scue,
+    ];
+    let measured = measure_grid(
+        Metric::MetadataAccesses,
+        workloads,
+        &schemes,
+        scale,
+        seed,
+        jobs,
+    );
     workloads
         .iter()
-        .map(|&w| {
-            let lazy = measure(
-                Metric::MetadataAccesses,
-                SystemConfig::figure(SchemeKind::Lazy),
-                w,
-                scale,
-                seed,
-            );
-            let series = [SchemeKind::Plp, SchemeKind::BmfIdeal, SchemeKind::Scue]
+        .enumerate()
+        .map(|(wi, &w)| {
+            let row = &measured[wi * schemes.len()..(wi + 1) * schemes.len()];
+            let lazy = row[0].0;
+            let series = schemes[1..]
                 .iter()
-                .map(|&s| {
-                    let raw = measure(
-                        Metric::MetadataAccesses,
-                        SystemConfig::figure(s),
-                        w,
-                        scale,
-                        seed,
-                    );
-                    (s, raw / lazy.max(1.0))
-                })
+                .zip(&row[1..])
+                .map(|(&s, &(raw, _))| (s, raw / lazy.max(1.0)))
                 .collect();
             (w, series)
         })
@@ -235,40 +279,46 @@ pub struct HashSweepRow {
     pub summaries: Vec<(u64, LatencySummary)>,
 }
 
-/// Figs. 11–12: SCUE sensitivity to hash latency.
+/// Figs. 11–12: SCUE sensitivity to hash latency, one parallel cell
+/// per `hash-latency × workload`.
 pub fn hash_latency_sweep(
     metric: Metric,
     workloads: &[Workload],
     scale: usize,
     seed: u64,
+    jobs: usize,
 ) -> Vec<HashSweepRow> {
+    let cells: Vec<(Workload, u64)> = workloads
+        .iter()
+        .flat_map(|&w| PAPER_HASH_LATENCIES.iter().map(move |&lat| (w, lat)))
+        .collect();
+    let measured = par::run_indexed(jobs, &cells, |_, &(workload, lat), _| {
+        measure_run(
+            metric,
+            SystemConfig::figure(SchemeKind::Scue).with_hash_latency(lat),
+            workload,
+            scale,
+            seed,
+        )
+    });
+    let n = PAPER_HASH_LATENCIES.len();
     workloads
         .iter()
-        .map(|&w| {
-            let base = measure(
-                metric,
-                SystemConfig::figure(SchemeKind::Scue).with_hash_latency(PAPER_HASH_LATENCIES[0]),
-                w,
-                scale,
-                seed,
-            );
+        .enumerate()
+        .map(|(wi, &workload)| {
+            let row = &measured[wi * n..(wi + 1) * n];
+            let base = row[0].0;
             let mut summaries = Vec::new();
             let points = PAPER_HASH_LATENCIES
                 .iter()
-                .map(|&lat| {
-                    let (raw, summary) = measure_run(
-                        metric,
-                        SystemConfig::figure(SchemeKind::Scue).with_hash_latency(lat),
-                        w,
-                        scale,
-                        seed,
-                    );
+                .zip(row)
+                .map(|(&lat, &(raw, summary))| {
                     summaries.push((lat, summary));
                     (lat, raw / base.max(1.0))
                 })
                 .collect();
             HashSweepRow {
-                workload: w,
+                workload,
                 points,
                 summaries,
             }
@@ -284,7 +334,7 @@ mod tests {
     /// assertions live in the `figure_shapes` integration test.
     #[test]
     fn fig9_smoke() {
-        let rows = fig9_write_latency(&[Workload::Array], 300, 1);
+        let rows = fig9_write_latency(&[Workload::Array], 300, 1, 2);
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
         assert!(row.baseline_raw > 0.0);
@@ -295,7 +345,7 @@ mod tests {
 
     #[test]
     fn hash_sweep_is_monotonic_smoke() {
-        let rows = hash_latency_sweep(Metric::WriteLatency, &[Workload::Queue], 300, 1);
+        let rows = hash_latency_sweep(Metric::WriteLatency, &[Workload::Queue], 300, 1, 2);
         let points = &rows[0].points;
         assert_eq!(points.len(), 4);
         assert!(
@@ -329,7 +379,7 @@ mod tests {
 
     #[test]
     fn rows_carry_per_scheme_latency_digests() {
-        let rows = fig9_write_latency(&[Workload::Queue], 300, 1);
+        let rows = fig9_write_latency(&[Workload::Queue], 300, 1, 2);
         let row = &rows[0];
         assert_eq!(row.summaries.len(), SchemeKind::FIGURE_SCHEMES.len() + 1);
         assert_eq!(row.summaries[0].0, SchemeKind::Baseline);

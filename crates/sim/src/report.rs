@@ -35,6 +35,9 @@ pub struct ReportConfig {
     pub hash_latency: u64,
     /// Whether eADR (cache flush-on-crash) was modelled.
     pub eadr: bool,
+    /// Worker threads the run fanned out over. Provenance only: the
+    /// measured results are byte-identical at any job count.
+    pub jobs: u64,
 }
 
 impl ReportConfig {
@@ -47,6 +50,7 @@ impl ReportConfig {
             .with("cores", Json::U64(self.cores))
             .with("hash_latency", Json::U64(self.hash_latency))
             .with("eadr", Json::Bool(self.eadr))
+            .with("jobs", Json::U64(self.jobs))
     }
 }
 
@@ -186,6 +190,7 @@ mod tests {
                 cores: 1,
                 hash_latency: 40,
                 eadr: false,
+                jobs: 1,
             },
             result,
             recovery,
@@ -214,6 +219,9 @@ mod tests {
             Some(METRICS_SCHEMA_VERSION)
         );
         assert!(doc.get("recovery").is_none(), "no crash, no recovery");
+        // The config echoes the fan-out width for provenance.
+        let config = doc.get("config").unwrap();
+        assert_eq!(config.get("jobs").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use scue::{CrashError, RecoveryOutcome, SchemeKind, SecureMemConfig, SecureMemory};
 use scue_nvm::{Cycle, FaultPlan, LineAddr, NvmFault};
 use scue_util::obs::{EventKind, Json};
+use scue_util::par;
 use scue_util::prop::{shrink_failure, Strategy};
 use scue_util::rng::{Rng, SplitMix64};
 use std::collections::BTreeMap;
@@ -605,8 +606,24 @@ pub struct SchemeTally {
     pub faults_applied: u64,
     /// Outcome histogram, keyed in [`CaseClass::ALL`] order.
     pub outcomes: BTreeMap<CaseClass, u64>,
+    /// Total leaf counters repaired across all cases.
+    pub repaired_leaves: u64,
     /// Oracle violations among these cases.
     pub violations: u64,
+}
+
+impl SchemeTally {
+    /// A zeroed tally for one scheme.
+    fn empty(scheme: SchemeKind) -> Self {
+        SchemeTally {
+            scheme,
+            cases: 0,
+            faults_applied: 0,
+            outcomes: BTreeMap::new(),
+            repaired_leaves: 0,
+            violations: 0,
+        }
+    }
 }
 
 /// A full campaign's results.
@@ -646,6 +663,7 @@ impl CampaignReport {
                     .with("cases", Json::U64(t.cases))
                     .with("faults_applied", Json::U64(t.faults_applied))
                     .with("outcomes", outcomes)
+                    .with("repaired_leaves", Json::U64(t.repaired_leaves))
                     .with("oracle_violations", Json::U64(t.violations))
             })
             .collect();
@@ -743,39 +761,126 @@ fn sample_cases(scheme: SchemeKind, cfg: &TortureConfig, points: usize) -> Vec<C
         .collect()
 }
 
-/// Runs the full campaign: `points` crash cases per scheme, oracle
-/// checks on each, and a shrinking minimiser on every violation.
-pub fn campaign(cfg: &TortureConfig, points: usize, schemes: &[SchemeKind]) -> CampaignReport {
-    let mut tallies = Vec::new();
-    let mut violations = Vec::new();
-    for &scheme in schemes {
-        let mut tally = SchemeTally {
-            scheme,
-            cases: 0,
-            faults_applied: 0,
-            outcomes: BTreeMap::new(),
-            violations: 0,
-        };
-        for case in sample_cases(scheme, cfg, points) {
-            let result = run_case(scheme, cfg, case);
-            tally.cases += 1;
-            if result.fault_applied {
-                tally.faults_applied += 1;
-            }
-            *tally.outcomes.entry(result.class).or_insert(0) += 1;
-            if let Err(message) = oracle(scheme, cfg, &result) {
-                tally.violations += 1;
-                violations.push(minimise(scheme, cfg, case, message));
-            }
-        }
-        tallies.push(tally);
+/// One torture cell's result: everything the campaign merge needs,
+/// independent of which worker ran the cell or when it finished.
+#[derive(Debug, Clone)]
+struct CaseOutcome {
+    scheme: SchemeKind,
+    fault_applied: bool,
+    class: CaseClass,
+    repaired_leaves: u64,
+    violation: Option<ViolationReport>,
+}
+
+/// Runs one `(scheme, case)` cell: crash case, oracle, and — on a
+/// violation — the shrinking minimiser, all inside the cell so the
+/// result is a pure function of the cell.
+fn run_cell(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> CaseOutcome {
+    let result = run_case(scheme, cfg, case);
+    let violation = match oracle(scheme, cfg, &result) {
+        Ok(()) => None,
+        Err(message) => Some(minimise(scheme, cfg, case, message)),
+    };
+    CaseOutcome {
+        scheme,
+        fault_applied: result.fault_applied,
+        class: result.class,
+        repaired_leaves: result.repaired_leaves,
+        violation,
     }
+}
+
+/// Folds per-cell outcomes into a [`CampaignReport`], independent of
+/// the order the outcomes arrive in: tallies are keyed by the caller's
+/// scheme order and summed commutatively, and violations get a
+/// canonical sort (scheme position, ops, crash point, fault, message)
+/// before rendering — so a shuffled outcome stream from a parallel run
+/// merges to the same report as the serial loop.
+fn merge_outcomes(
+    cfg: &TortureConfig,
+    points: usize,
+    schemes: &[SchemeKind],
+    outcomes: &[CaseOutcome],
+) -> CampaignReport {
+    let position = |scheme: SchemeKind| {
+        schemes
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("outcome scheme must come from the campaign's scheme list")
+    };
+    let mut tallies: Vec<SchemeTally> = schemes.iter().map(|&s| SchemeTally::empty(s)).collect();
+    let mut violations = Vec::new();
+    for outcome in outcomes {
+        let tally = &mut tallies[position(outcome.scheme)];
+        tally.cases += 1;
+        if outcome.fault_applied {
+            tally.faults_applied += 1;
+        }
+        *tally.outcomes.entry(outcome.class).or_insert(0) += 1;
+        tally.repaired_leaves += outcome.repaired_leaves;
+        if let Some(violation) = &outcome.violation {
+            tally.violations += 1;
+            violations.push(violation.clone());
+        }
+    }
+    violations.sort_by(|a, b| {
+        let fault_pos = |f: FaultKind| FaultKind::ALL.iter().position(|&k| k == f).unwrap_or(0);
+        (
+            position(a.scheme),
+            a.case.ops,
+            a.case.crash_at,
+            fault_pos(a.case.fault),
+            &a.message,
+        )
+            .cmp(&(
+                position(b.scheme),
+                b.case.ops,
+                b.case.crash_at,
+                fault_pos(b.case.fault),
+                &b.message,
+            ))
+    });
     CampaignReport {
         config: *cfg,
         points,
         tallies,
         violations,
     }
+}
+
+/// Runs the full campaign: `points` crash cases per scheme, oracle
+/// checks on each, and a shrinking minimiser on every violation.
+/// Serial (`jobs == 1`); see [`campaign_with_jobs`] for the fan-out.
+pub fn campaign(cfg: &TortureConfig, points: usize, schemes: &[SchemeKind]) -> CampaignReport {
+    campaign_with_jobs(cfg, points, schemes, 1)
+}
+
+/// [`campaign`] fanned out over up to `jobs` worker threads.
+///
+/// Case sampling fans out per scheme, then every `(scheme, case)` pair
+/// becomes one [`par::run_indexed`] cell (crash + oracle + minimise).
+/// Each cell is a pure function of its spec — the cell seed stream is
+/// unused because [`CaseSpec`] already pins all randomness — and the
+/// merge is order-independent, so the report (and its JSON rendering)
+/// is byte-identical at any job count.
+pub fn campaign_with_jobs(
+    cfg: &TortureConfig,
+    points: usize,
+    schemes: &[SchemeKind],
+    jobs: usize,
+) -> CampaignReport {
+    let sampled: Vec<Vec<CaseSpec>> = par::run_indexed(jobs, schemes, |_, &scheme, _| {
+        sample_cases(scheme, cfg, points)
+    });
+    let cells: Vec<(SchemeKind, CaseSpec)> = schemes
+        .iter()
+        .zip(&sampled)
+        .flat_map(|(&scheme, cases)| cases.iter().map(move |&case| (scheme, case)))
+        .collect();
+    let outcomes = par::run_indexed(jobs, &cells, |_, &(scheme, case), _| {
+        run_cell(scheme, cfg, case)
+    });
+    merge_outcomes(cfg, points, schemes, &outcomes)
 }
 
 /// Shrinks one violating case to a local minimum with the prop-harness
@@ -937,6 +1042,84 @@ mod tests {
         assert!(cmd.contains("scue-torture"));
         assert!(cmd.contains("--strict-baseline"));
         assert!(cmd.contains(&spec));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // A parallel campaign delivers outcomes in completion order;
+        // the merge must not care. Reverse and interleave the serial
+        // outcome stream and demand an identical rendered report.
+        let cfg = quick_cfg();
+        let schemes = [SchemeKind::Scue, SchemeKind::Lazy, SchemeKind::Baseline];
+        let mut outcomes = Vec::new();
+        for &scheme in &schemes {
+            for case in sample_cases(scheme, &cfg, 8) {
+                outcomes.push(run_cell(scheme, &cfg, case));
+            }
+        }
+        let reference = merge_outcomes(&cfg, 8, &schemes, &outcomes)
+            .to_json()
+            .render_doc();
+        let mut reversed = outcomes.clone();
+        reversed.reverse();
+        let mut interleaved = Vec::new();
+        let half = outcomes.len() / 2;
+        for i in 0..half {
+            interleaved.push(outcomes[i].clone());
+            interleaved.push(outcomes[half + i].clone());
+        }
+        interleaved.extend(outcomes[2 * half..].iter().cloned());
+        for shuffled in [reversed, interleaved] {
+            assert_eq!(shuffled.len(), outcomes.len());
+            let report = merge_outcomes(&cfg, 8, &schemes, &shuffled);
+            assert_eq!(report.to_json().render_doc(), reference);
+        }
+    }
+
+    #[test]
+    fn campaign_is_byte_identical_across_job_counts() {
+        let cfg = quick_cfg();
+        let schemes = [SchemeKind::Scue, SchemeKind::Plp];
+        let serial = campaign_with_jobs(&cfg, 6, &schemes, 1)
+            .to_json()
+            .render_doc();
+        for jobs in [3, 7] {
+            let parallel = campaign_with_jobs(&cfg, 6, &schemes, jobs)
+                .to_json()
+                .render_doc();
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn tallies_carry_repaired_leaf_totals() {
+        // A known-repairing cell (late torn counter under Scue) must
+        // surface its repaired-leaf count through the merge: the tally
+        // covers the repaired_counter outcome count, and its JSON
+        // rendering carries the field.
+        let cfg = quick_cfg();
+        let case = CaseSpec {
+            ops: cfg.ops,
+            crash_at: 500_000,
+            fault: FaultKind::TornCounter,
+        };
+        let outcome = run_cell(SchemeKind::Scue, &cfg, case);
+        assert_eq!(outcome.class, CaseClass::RepairedCounter, "{outcome:?}");
+        assert!(outcome.repaired_leaves > 0, "{outcome:?}");
+        let report = merge_outcomes(&cfg, 1, &[SchemeKind::Scue], &[outcome.clone()]);
+        let tally = &report.tallies[0];
+        let repaired_cases = tally
+            .outcomes
+            .get(&CaseClass::RepairedCounter)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(repaired_cases, 1);
+        assert!(tally.repaired_leaves >= repaired_cases, "{tally:?}");
+        let rendered = report.to_json().render_doc();
+        assert!(
+            rendered.contains(&format!("\"repaired_leaves\":{}", outcome.repaired_leaves)),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -16,12 +16,17 @@
 //!   (replaces `criterion`);
 //! * [`obs`] — the observability substrate: log2-bucketed histograms,
 //!   named counters, a bounded event-trace ring buffer, an epoch gauge
-//!   sampler, and a minimal JSON value type for versioned exports.
+//!   sampler, and a minimal JSON value type for versioned exports;
+//! * [`par`] — a deterministic fan-out executor on
+//!   `std::thread::scope`: index-derived seed streams, index-ordered
+//!   collection and first-cell panic propagation, so sweeps produce
+//!   byte-identical output at any `--jobs` count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod obs;
+pub mod par;
 pub mod prop;
 pub mod rng;

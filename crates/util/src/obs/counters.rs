@@ -64,6 +64,16 @@ impl CounterRegistry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Merges another registry into this one, summing shared names and
+    /// adopting new ones — the lossless combine for per-thread
+    /// registries after a parallel sweep. Name order stays sorted, so
+    /// `a ∪ b` renders identically no matter the merge order.
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
     /// All counters as one JSON object.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
@@ -97,6 +107,31 @@ mod tests {
         c.add("alpha", 2);
         let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn merge_sums_shared_names_and_adopts_new_ones() {
+        let mut a = CounterRegistry::new();
+        a.add("shared", 3);
+        a.add("only_a", 1);
+        let mut b = CounterRegistry::new();
+        b.add("shared", 4);
+        b.add("only_b", 9);
+        let mut ba = b.clone();
+        a.merge(&b);
+        assert_eq!(a.get("shared"), 7);
+        assert_eq!(a.get("only_a"), 1);
+        assert_eq!(a.get("only_b"), 9);
+        // Commutative on contents.
+        let mut a2 = CounterRegistry::new();
+        a2.add("shared", 3);
+        a2.add("only_a", 1);
+        ba.merge(&a2);
+        assert_eq!(a, ba);
+        // Merging an empty registry is the identity.
+        let before = a.clone();
+        a.merge(&CounterRegistry::new());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -27,11 +27,27 @@ cargo run --release --offline -q -p scue-sim --bin scue-simulate -- \
 cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
     "$metrics_tmp/metrics.json"
 
-echo "==> crash-point torture smoke (scue-torture, 6 schemes x 200 points)"
+echo "==> crash-point torture smoke (scue-torture, 6 schemes x 200 points, --jobs 4)"
+t0=$(date +%s%3N)
 cargo run --release --offline -q -p scue-sim --bin scue-torture -- \
-    --seed 1 --points 200 --json "$metrics_tmp/torture.json"
+    --seed 1 --points 200 --jobs 4 --json "$metrics_tmp/torture.json"
+t1=$(date +%s%3N)
 cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
     "$metrics_tmp/torture.json"
+
+echo "==> torture determinism: --jobs 1 vs --jobs 4 (payload diff, provenance stripped)"
+cargo run --release --offline -q -p scue-sim --bin scue-torture -- \
+    --seed 1 --points 200 --jobs 1 --json "$metrics_tmp/torture_serial.json" > /dev/null
+t2=$(date +%s%3N)
+# The campaign payload must be byte-identical at any job count; only the
+# trailing provenance object (job count, wall-clock) may differ.
+strip_provenance() { sed 's/,"provenance":{[^}]*}//' "$1"; }
+if ! diff <(strip_provenance "$metrics_tmp/torture.json") \
+          <(strip_provenance "$metrics_tmp/torture_serial.json"); then
+    echo "ERROR: torture campaign payload differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+echo "torture wall-clock: --jobs 4: $((t1 - t0)) ms, --jobs 1: $((t2 - t1)) ms"
 
 echo "==> verifying zero external dependencies"
 # Every line of `cargo tree` must be a workspace crate (scue*) or tree

@@ -27,12 +27,16 @@ const WORKLOADS: [Workload; 6] = [
 
 const SCALE: usize = 8_000;
 const SEED: u64 = 1;
+/// Fan-out width for grid measurement. Any value produces identical
+/// rows (pinned by tests/par_determinism.rs); 2 exercises the parallel
+/// path here without oversubscribing the test runner.
+const JOBS: usize = 2;
 
 /// Fig. 9: mean write latencies order PLP > Lazy > SCUE and
 /// BMF > SCUE, all above Baseline.
 #[test]
 fn fig9_ordering() {
-    let rows = fig9_write_latency(&WORKLOADS, SCALE, SEED);
+    let rows = fig9_write_latency(&WORKLOADS, SCALE, SEED, JOBS);
     let plp = mean_of(&rows, SchemeKind::Plp);
     let lazy = mean_of(&rows, SchemeKind::Lazy);
     let bmf = mean_of(&rows, SchemeKind::BmfIdeal);
@@ -49,7 +53,7 @@ fn fig9_ordering() {
 /// slowdown champion (paper: 1.96× vs SCUE's 1.07×).
 #[test]
 fn fig10_ordering() {
-    let rows = fig10_exec_time(&WORKLOADS, SCALE, SEED);
+    let rows = fig10_exec_time(&WORKLOADS, SCALE, SEED, JOBS);
     let plp = mean_of(&rows, SchemeKind::Plp);
     let lazy = mean_of(&rows, SchemeKind::Lazy);
     let scue = mean_of(&rows, SchemeKind::Scue);
@@ -65,8 +69,8 @@ fn fig10_ordering() {
 #[test]
 fn fig11_fig12_hash_sensitivity() {
     let wl = [Workload::Queue, Workload::Array, Workload::Gcc];
-    let wlat = hash_latency_sweep(Metric::WriteLatency, &wl, SCALE, SEED);
-    let exec = hash_latency_sweep(Metric::ExecTime, &wl, SCALE, SEED);
+    let wlat = hash_latency_sweep(Metric::WriteLatency, &wl, SCALE, SEED, JOBS);
+    let exec = hash_latency_sweep(Metric::ExecTime, &wl, SCALE, SEED, JOBS);
     for row in &wlat {
         let values: Vec<f64> = row.points.iter().map(|(_, v)| *v).collect();
         assert!((values[0] - 1.0).abs() < 1e-9, "{}", row.workload);
@@ -105,7 +109,7 @@ fn fig11_fig12_hash_sensitivity() {
 /// approximately Lazy's; BMF-ideal's is somewhat below Lazy's.
 #[test]
 fn metadata_access_ratios() {
-    let rows = metadata_accesses_vs_lazy(&[Workload::Array, Workload::Mcf], SCALE, SEED);
+    let rows = metadata_accesses_vs_lazy(&[Workload::Array, Workload::Mcf], SCALE, SEED, JOBS);
     for (workload, series) in rows {
         let get = |s: SchemeKind| {
             series

@@ -1,0 +1,149 @@
+//! The parallel-determinism battery: every figure grid and a torture
+//! campaign must render byte-identical JSON at `--jobs` 1, 4 and 7 —
+//! and identical to the committed serial golden, so a scheduling
+//! regression cannot slip in as "just noise".
+//!
+//! Regenerate the goldens after an intentional model change with:
+//!
+//! ```text
+//! SCUE_UPDATE_GOLDEN=1 cargo test --test par_determinism
+//! ```
+
+use scue_bench::rows_to_json;
+use scue_sim::experiment::{
+    comparison_grid, hash_latency_sweep, metadata_accesses_vs_lazy, HashSweepRow, Metric,
+};
+use scue_sim::torture::{self, TortureConfig};
+use scue_util::obs::Json;
+use scue_workloads::Workload;
+use std::path::PathBuf;
+
+/// Small but non-trivial grid parameters: two workloads with different
+/// access patterns, a scale that exercises cache evictions.
+const WORKLOADS: [Workload; 2] = [Workload::Array, Workload::Queue];
+const SCALE: usize = 500;
+const SEED: u64 = 1;
+
+/// The job counts every document is rendered at: serial, a typical
+/// width, and a prime that never divides the cell count evenly.
+const JOB_COUNTS: [usize; 3] = [1, 4, 7];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Compares `rendered` against the committed golden (or rewrites the
+/// golden when `SCUE_UPDATE_GOLDEN` is set).
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("SCUE_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "{name}: serial output diverged from the committed golden \
+         (SCUE_UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+/// Renders a document at every job count, asserts byte-identity across
+/// them, checks the serial rendering against the golden, and returns it.
+fn assert_jobs_invariant(name: &str, render_at: impl Fn(usize) -> String) {
+    let serial = render_at(1);
+    for jobs in JOB_COUNTS {
+        let rendered = render_at(jobs);
+        assert_eq!(
+            rendered, serial,
+            "{name}: output at jobs={jobs} diverged from serial"
+        );
+    }
+    assert_matches_golden(name, &serial);
+}
+
+fn hash_rows_to_json(rows: &[HashSweepRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut points = Json::obj();
+                for (lat, v) in &row.points {
+                    points.set(&lat.to_string(), Json::F64(*v));
+                }
+                let mut percentiles = Json::obj();
+                for (lat, s) in &row.summaries {
+                    percentiles.set(&lat.to_string(), s.to_json());
+                }
+                Json::obj()
+                    .with("workload", Json::Str(row.workload.name().to_string()))
+                    .with("normalized", points)
+                    .with("write_latency_cycles", percentiles)
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn comparison_grids_are_jobs_invariant() {
+    for (name, metric) in [
+        ("fig09_grid.json", Metric::WriteLatency),
+        ("fig10_grid.json", Metric::ExecTime),
+    ] {
+        assert_jobs_invariant(name, |jobs| {
+            rows_to_json(&comparison_grid(metric, &WORKLOADS, SCALE, SEED, jobs)).render_doc()
+        });
+    }
+}
+
+#[test]
+fn hash_sweeps_are_jobs_invariant() {
+    for (name, metric) in [
+        ("fig11_hash_sweep.json", Metric::WriteLatency),
+        ("fig12_hash_sweep.json", Metric::ExecTime),
+    ] {
+        assert_jobs_invariant(name, |jobs| {
+            hash_rows_to_json(&hash_latency_sweep(metric, &WORKLOADS, SCALE, SEED, jobs))
+                .render_doc()
+        });
+    }
+}
+
+#[test]
+fn metadata_access_grid_is_jobs_invariant() {
+    assert_jobs_invariant("memaccess_grid.json", |jobs| {
+        let rows = metadata_accesses_vs_lazy(&WORKLOADS, SCALE, SEED, jobs);
+        Json::Arr(
+            rows.iter()
+                .map(|(workload, series)| {
+                    let mut ratios = Json::obj();
+                    for (scheme, v) in series {
+                        ratios.set(scheme.name(), Json::F64(*v));
+                    }
+                    Json::obj()
+                        .with("workload", Json::Str(workload.name().to_string()))
+                        .with("vs_lazy", ratios)
+                })
+                .collect(),
+        )
+        .render_doc()
+    });
+}
+
+#[test]
+fn torture_campaign_is_jobs_invariant() {
+    // The full six-scheme campaign: 100 crash points per scheme, every
+    // (scheme, case) cell fanned out, violations minimised in-cell.
+    let cfg = TortureConfig {
+        seed: 7,
+        ops: 60,
+        eadr: false,
+        strict_baseline: false,
+    };
+    assert_jobs_invariant("torture_campaign.json", |jobs| {
+        torture::campaign_with_jobs(&cfg, 100, &scue::SchemeKind::ALL, jobs)
+            .to_json()
+            .render_doc()
+    });
+}
