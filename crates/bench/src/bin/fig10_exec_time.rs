@@ -2,9 +2,20 @@
 //!
 //! Paper reference (averages): PLP 1.96×, Lazy 1.17×, BMF-ideal 1.11×,
 //! SCUE 1.07×.
+//!
+//! Besides the normalised table, the harness writes a machine-readable
+//! twin to `results/fig10_exec_time.json` (the fig09/fig13 schema).
+//! The sweep fans out over `--jobs` worker threads; the twin is
+//! byte-identical at any job count apart from its trailing
+//! `provenance` object.
 
-use scue_bench::{banner, jobs_or_die, print_scheme_table, scale, seed};
-use scue_sim::experiment::{comparison_grid, Metric};
+use scue::SchemeKind;
+use scue_bench::{
+    banner, figure_doc, jobs_or_die, print_scheme_table, provenance, rows_to_json, scale, seed,
+    write_figure_json,
+};
+use scue_sim::experiment::{comparison_grid, mean_of, Metric};
+use scue_util::obs::Json;
 use scue_workloads::Workload;
 
 fn main() {
@@ -17,4 +28,14 @@ fn main() {
     println!();
     println!("paper means: PLP 1.96, Lazy 1.17, BMF-ideal 1.11, SCUE 1.07");
     println!("sweep wall-clock: {wall_ms} ms at --jobs {jobs}");
+
+    let mut means = Json::obj();
+    for scheme in SchemeKind::FIGURE_SCHEMES {
+        means.set(scheme.name(), Json::F64(mean_of(&rows, scheme)));
+    }
+    let doc = figure_doc("scue-fig10-exec-time")
+        .with("rows", rows_to_json(&rows))
+        .with("means", means)
+        .with("provenance", provenance(jobs, wall_ms));
+    write_figure_json("fig10_exec_time", &doc);
 }

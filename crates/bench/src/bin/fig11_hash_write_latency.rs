@@ -2,8 +2,15 @@
 //! normalised to the 20-cycle run.
 //!
 //! Paper reference: 1.20× on average (up to 1.36×) at 160 cycles.
+//!
+//! Writes a machine-readable twin to
+//! `results/fig11_hash_write_latency.json`, byte-identical at any
+//! `--jobs` count apart from its trailing `provenance` object.
 
-use scue_bench::{banner, jobs_or_die, scale, seed};
+use scue_bench::{
+    banner, figure_doc, hash_means, hash_rows_to_json, jobs_or_die, provenance, scale, seed,
+    write_figure_json,
+};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
 use scue_sim::experiment::{hash_latency_sweep, Metric};
 use scue_workloads::Workload;
@@ -11,7 +18,9 @@ use scue_workloads::Workload;
 fn main() {
     let jobs = jobs_or_die("fig11_hash_write_latency");
     banner("Fig. 11 — SCUE write latency vs. hash latency (norm. to 20 cyc)");
+    let started = std::time::Instant::now();
     let rows = hash_latency_sweep(Metric::WriteLatency, &Workload::ALL, scale(), seed(), jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
     print!("{:>12}", "workload");
     for lat in PAPER_HASH_LATENCIES {
         print!(" {:>9}", format!("{lat}_hash"));
@@ -48,4 +57,11 @@ fn main() {
     }
     println!();
     println!("paper: 1.20x mean (max 1.36x) at 160 cycles");
+    println!("sweep wall-clock: {wall_ms} ms at --jobs {jobs}");
+
+    let doc = figure_doc("scue-fig11-hash-write-latency")
+        .with("rows", hash_rows_to_json(&rows))
+        .with("means", hash_means(&rows))
+        .with("provenance", provenance(jobs, wall_ms));
+    write_figure_json("fig11_hash_write_latency", &doc);
 }

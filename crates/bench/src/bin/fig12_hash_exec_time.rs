@@ -2,8 +2,15 @@
 //! normalised to the 20-cycle run.
 //!
 //! Paper reference: 1.14× at 160 cycles.
+//!
+//! Writes a machine-readable twin to
+//! `results/fig12_hash_exec_time.json`, byte-identical at any `--jobs`
+//! count apart from its trailing `provenance` object.
 
-use scue_bench::{banner, jobs_or_die, scale, seed};
+use scue_bench::{
+    banner, figure_doc, hash_means, hash_rows_to_json, jobs_or_die, provenance, scale, seed,
+    write_figure_json,
+};
 use scue_crypto::engine::PAPER_HASH_LATENCIES;
 use scue_sim::experiment::{hash_latency_sweep, Metric};
 use scue_workloads::Workload;
@@ -11,7 +18,9 @@ use scue_workloads::Workload;
 fn main() {
     let jobs = jobs_or_die("fig12_hash_exec_time");
     banner("Fig. 12 — SCUE execution time vs. hash latency (norm. to 20 cyc)");
+    let started = std::time::Instant::now();
     let rows = hash_latency_sweep(Metric::ExecTime, &Workload::ALL, scale(), seed(), jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
     print!("{:>12}", "workload");
     for lat in PAPER_HASH_LATENCIES {
         print!(" {:>9}", format!("{lat}_hash"));
@@ -34,4 +43,11 @@ fn main() {
     println!();
     println!();
     println!("paper: 1.14x at 160 cycles");
+    println!("sweep wall-clock: {wall_ms} ms at --jobs {jobs}");
+
+    let doc = figure_doc("scue-fig12-hash-exec-time")
+        .with("rows", hash_rows_to_json(&rows))
+        .with("means", hash_means(&rows))
+        .with("provenance", provenance(jobs, wall_ms));
+    write_figure_json("fig12_hash_exec_time", &doc);
 }

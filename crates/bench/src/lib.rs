@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use scue::SchemeKind;
-use scue_sim::experiment::WorkloadRow;
+use scue_sim::experiment::{HashSweepRow, WorkloadRow};
 use scue_util::obs::Json;
 use scue_util::par;
 use scue_workloads::Workload;
@@ -210,6 +210,43 @@ pub fn rows_to_json(rows: &[WorkloadRow]) -> Json {
             })
             .collect(),
     )
+}
+
+/// Serialises hash-latency sweep rows (Figs. 11–12: normalised values
+/// keyed by hash latency, plus raw latency digests) for a figure twin.
+pub fn hash_rows_to_json(rows: &[HashSweepRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut points = Json::obj();
+                for (lat, v) in &row.points {
+                    points.set(&lat.to_string(), Json::F64(*v));
+                }
+                let mut percentiles = Json::obj();
+                for (lat, s) in &row.summaries {
+                    percentiles.set(&lat.to_string(), s.to_json());
+                }
+                Json::obj()
+                    .with("workload", Json::Str(row.workload.name().to_string()))
+                    .with("normalized", points)
+                    .with("write_latency_cycles", percentiles)
+            })
+            .collect(),
+    )
+}
+
+/// Per-hash-latency means over a sweep's workloads (the figure's
+/// quoted averages), keyed by latency.
+pub fn hash_means(rows: &[HashSweepRow]) -> Json {
+    let mut means = Json::obj();
+    if rows.is_empty() {
+        return means;
+    }
+    for (i, (lat, _)) in rows[0].points.iter().enumerate() {
+        let sum: f64 = rows.iter().map(|row| row.points[i].1).sum();
+        means.set(&lat.to_string(), Json::F64(sum / rows.len() as f64));
+    }
+    means
 }
 
 #[cfg(test)]

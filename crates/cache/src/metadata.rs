@@ -13,6 +13,7 @@
 
 use crate::set_assoc::{Eviction, SetAssocCache};
 use scue_nvm::LineAddr;
+use scue_util::obs::span;
 
 /// Metadata-cache lookup/fill statistics.
 ///
@@ -93,17 +94,20 @@ impl<V> MetadataCache<V> {
 
     /// Looks up a node, refreshing LRU.
     pub fn get(&mut self, addr: LineAddr) -> Option<&V> {
+        let _span = span::enter("mdcache.lookup");
         self.inner.get(addr)
     }
 
     /// Looks up a node mutably, refreshing LRU and marking it dirty — the
     /// path every counter increment takes.
     pub fn get_mut_dirty(&mut self, addr: LineAddr) -> Option<&mut V> {
+        let _span = span::enter("mdcache.lookup");
         self.inner.get_mut_dirty(addr)
     }
 
     /// Residency probe without LRU or stats effects.
     pub fn contains(&self, addr: LineAddr) -> bool {
+        let _span = span::enter("mdcache.lookup");
         self.inner.contains(addr)
     }
 

@@ -34,7 +34,7 @@ use scue_itree::geometry::{NodeId, Parent};
 use scue_itree::{MacSideband, RootRegister, SitContext, SitNode};
 use scue_nvm::wpq::Enqueued;
 use scue_nvm::{AccessKind, Cycle, FaultPlan, FaultRecord, LineAddr, MemoryController};
-use scue_util::obs::{EventKind, EventTrace};
+use scue_util::obs::{span, EventKind, EventTrace};
 use std::collections::HashMap;
 
 /// One 64 B line of data.
@@ -480,6 +480,7 @@ impl SecureMemory {
     /// uncached ones through to NVM. Fetch-free by construction. Returns
     /// the completion cycle of the NVM traffic it generated.
     fn propagate_flush(&mut self, child: NodeId, child_dummy: u64, now: Cycle) -> Cycle {
+        let _span = span::enter("itree.walk");
         if !self.cfg.scheme.is_secure() || self.cfg.scheme == SchemeKind::BmfIdeal {
             // BMF-ideal has no tree above L1; its persistent root is
             // refreshed in the persist path.
@@ -563,6 +564,7 @@ impl SecureMemory {
         now: Cycle,
         f: impl FnOnce(&mut SitNode) -> R,
     ) -> Result<R, CrashError> {
+        let _span = span::enter("itree.walk");
         let addr = self.meta_addr(node);
         let mut f = Some(f);
         for _ in 0..8 {
@@ -592,6 +594,7 @@ impl SecureMemory {
     /// Missing ancestors are read in parallel (their addresses are pure
     /// geometry) and verified top-down in one parallel hash batch.
     fn ensure_node_cached(&mut self, node: NodeId, now: Cycle) -> Result<Cycle, CrashError> {
+        let _span = span::enter("itree.walk");
         if self.mdcache.contains(self.meta_addr(node)) {
             self.trace.record(
                 now,
@@ -707,6 +710,7 @@ impl SecureMemory {
         now: Cycle,
         verify: bool,
     ) -> Result<(CounterBlock, Cycle), CrashError> {
+        let _span = span::enter("itree.walk");
         let addr = self.meta_addr(leaf);
         if let Some(MetaEntry::Leaf(block)) = self.mdcache.get(addr) {
             let block = *block;
@@ -825,6 +829,7 @@ impl SecureMemory {
         plain: Line,
         now: Cycle,
     ) -> Result<Cycle, CrashError> {
+        let _span = span::enter("engine.request");
         if self.crashed {
             return Err(CrashError::MachineCrashed);
         }
@@ -1150,6 +1155,7 @@ impl SecureMemory {
     ///
     /// Panics if the address is out of range (a harness wiring bug).
     pub fn read_data(&mut self, addr: LineAddr, now: Cycle) -> Result<(Line, Cycle), CrashError> {
+        let _span = span::enter("engine.request");
         if self.crashed {
             return Err(CrashError::MachineCrashed);
         }
@@ -1298,6 +1304,7 @@ impl SecureMemory {
     /// the repaired image. The report's `repaired_leaves` counts the
     /// blocks the replay fixed.
     pub fn recover(&mut self) -> RecoveryReport {
+        let _span = span::enter("engine.recover");
         assert!(self.crashed, "recover() is only meaningful after crash()");
         let mut report = recovery::run(self);
         let repairable = matches!(report.outcome, RecoveryOutcome::LeafMacMismatch { .. })

@@ -28,6 +28,7 @@ use scue_crypto::hmac::bmt_child_hmac;
 use scue_itree::geometry::NodeId;
 use scue_itree::{RootRegister, SitNode};
 use scue_nvm::LineAddr;
+use scue_util::obs::span;
 use std::collections::BTreeMap;
 
 /// Latency of one metadata fetch from NVM during recovery, nanoseconds
@@ -164,6 +165,8 @@ pub(crate) fn run(mem: &mut SecureMemory) -> RecoveryReport {
 /// BMF-ideal: every leaf's persistent root (its MAC in the nvMC) survived
 /// the crash on-chip; verification is a flat scan.
 fn recover_bmf(mem: &mut SecureMemory) -> RecoveryReport {
+    // BMF is one flat pass over the leaves: all scan, no summing.
+    let _span = span::enter("recovery.scan");
     let (ctx, mc, _sideband, _running, _recovery, nvmc) = mem.parts_for_recovery();
     let geom = ctx.geometry().clone();
     let key = *ctx.key();
@@ -218,8 +221,14 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
     let geom = ctx.geometry().clone();
 
     // Step 0: enumerate the touched leaves from the NVM image.
+    let span_scan = span::enter("recovery.scan");
     let mut leaves: BTreeMap<u64, scue_crypto::cme::CounterBlock> = BTreeMap::new();
-    let touched: Vec<LineAddr> = mc.store().iter().map(|(a, _)| a).collect();
+    let mut touched: Vec<LineAddr> = mc.store().iter().map(|(a, _)| a).collect();
+    // The sparse store iterates in hash order; sort so downstream work
+    // (BTreeMap build order, hence its allocation pattern) is identical
+    // from run to run — the span profiler's per-phase allocation counts
+    // are golden-tested.
+    touched.sort_unstable_by_key(|a| a.raw());
     for addr in touched {
         if let Some(node) = geom.node_at_addr(addr) {
             if node.level == 0 {
@@ -235,10 +244,12 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
         scan_fetches: leaves_checked,
         ..Default::default()
     };
+    drop(span_scan);
 
     // Steps 1–2: reconstruct Level-1 counters as leaf dummies and verify
     // every leaf HMAC against them. On-chip work over already-scanned
     // leaves: no additional fetches.
+    let span_sum = span::enter("recovery.sum");
     for (&index, block) in &leaves {
         let leaf = NodeId::new(0, index);
         let dummy = ctx.leaf_dummy(block);
@@ -284,9 +295,11 @@ fn recover_counter_summing(mem: &mut SecureMemory) -> RecoveryReport {
     if rebuilt_root != *trusted {
         return RecoveryReport::new(RecoveryOutcome::RootMismatch, leaves_checked, phases);
     }
+    drop(span_sum);
 
     // Success: install the reconstructed nodes (with fresh MACs keyed by
     // their own dummies, the uniform convention) and synchronise roots.
+    let _span_rehash = span::enter("recovery.rehash");
     for (node_id, mut node) in rebuilt_nodes {
         phases.rehash_fetches += 1;
         if node.counter_sum() == 0 {

@@ -14,6 +14,7 @@
 
 use crate::siphash::WordHasher;
 use crate::SecretKey;
+use scue_util::obs::span;
 
 /// Bytes per cache line / NVM line across the whole system.
 pub const LINE_BYTES: usize = 64;
@@ -153,6 +154,7 @@ impl CounterBlock {
     /// Packs the block into a 64 B line: major counter in the first 8
     /// bytes (LE), then the 64 minors bit-packed at 7 bits each (56 bytes).
     pub fn to_line(&self) -> Line {
+        let _span = span::enter("codec.encode");
         let mut line = [0u8; LINE_BYTES];
         line[..8].copy_from_slice(&self.major.to_le_bytes());
         pack_7bit(&self.minors, &mut line[8..]);
@@ -161,6 +163,7 @@ impl CounterBlock {
 
     /// Unpacks a block previously produced by [`CounterBlock::to_line`].
     pub fn from_line(line: &Line) -> Self {
+        let _span = span::enter("codec.decode");
         let major = u64::from_le_bytes(line[..8].try_into().expect("8-byte slice"));
         let mut minors = [0u8; MINORS_PER_BLOCK];
         unpack_7bit(&line[8..], &mut minors);
@@ -218,6 +221,7 @@ fn unpack_7bit(input: &[u8], out: &mut [u8; MINORS_PER_BLOCK]) {
 /// what makes decryption work); distinct (address, major, minor) triples
 /// produce unrelated pads.
 pub fn one_time_pad(key: &SecretKey, line_addr: u64, major: u64, minor: u8) -> Line {
+    let _span = span::enter("hmac.compute");
     let mut pad = [0u8; LINE_BYTES];
     for lane in 0..(LINE_BYTES / 8) {
         let mut h = WordHasher::new(key);

@@ -15,6 +15,7 @@
 
 use crate::siphash::{siphash24, WordHasher};
 use crate::SecretKey;
+use scue_util::obs::span;
 
 /// Domain-separation tags for the MAC roles.
 mod domain {
@@ -51,6 +52,7 @@ pub fn sit_node_hmac(
     counters: &[u64],
     parent_counter: u64,
 ) -> u64 {
+    let _span = span::enter("hmac.compute");
     let mut h = WordHasher::new(key);
     h.write_u64(domain::SIT_NODE);
     h.write_u64(node_addr);
@@ -62,6 +64,7 @@ pub fn sit_node_hmac(
 /// Computes the HMAC a BMT parent stores for one child: keyed hash of the
 /// child's address and raw 64 B content.
 pub fn bmt_child_hmac(key: &SecretKey, child_addr: u64, child_line: &[u8; 64]) -> u64 {
+    let _span = span::enter("hmac.compute");
     let mut h = WordHasher::new(key);
     h.write_u64(domain::BMT_CHILD);
     h.write_u64(child_addr);
@@ -75,6 +78,7 @@ pub fn bmt_child_hmac(key: &SecretKey, child_addr: u64, child_line: &[u8; 64]) -
 /// covering counter value (§II-C): this is what detects tampering with user
 /// data, while the tree detects counter replay.
 pub fn data_line_hmac(key: &SecretKey, line_addr: u64, ciphertext: &[u8; 64], counter: u64) -> u64 {
+    let _span = span::enter("hmac.compute");
     let mut h = WordHasher::new(key);
     h.write_u64(domain::DATA_LINE);
     h.write_u64(line_addr);
@@ -88,6 +92,7 @@ pub fn data_line_hmac(key: &SecretKey, line_addr: u64, ciphertext: &[u8; 64], co
 /// Convenience keyed hash of arbitrary bytes (used by tests and the
 /// shadow-table checksums in the recovery variants).
 pub fn keyed_hash(key: &SecretKey, data: &[u8]) -> u64 {
+    let _span = span::enter("hmac.compute");
     siphash24(key, data)
 }
 

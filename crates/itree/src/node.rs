@@ -8,6 +8,7 @@
 //! A BMT node is eight 64-bit HMACs of its children.
 
 use scue_nvm::LINE_BYTES;
+use scue_util::obs::span;
 
 /// One 64 B line of raw content.
 pub type Line = [u8; LINE_BYTES];
@@ -102,6 +103,7 @@ impl SitNode {
     /// Packs to a 64 B line: counters as 7-byte little-endian fields,
     /// then the 8-byte HMAC.
     pub fn to_line(&self) -> Line {
+        let _span = span::enter("codec.encode");
         let mut line = [0u8; LINE_BYTES];
         for (i, &c) in self.counters.iter().enumerate() {
             let bytes = c.to_le_bytes();
@@ -113,6 +115,7 @@ impl SitNode {
 
     /// Unpacks a node from a 64 B line.
     pub fn from_line(line: &Line) -> Self {
+        let _span = span::enter("codec.decode");
         let mut counters = [0u64; COUNTERS_PER_NODE];
         for (i, counter) in counters.iter_mut().enumerate() {
             let mut bytes = [0u8; 8];
@@ -164,6 +167,7 @@ impl BmtNode {
 
     /// Packs to a 64 B line (eight LE u64s).
     pub fn to_line(&self) -> Line {
+        let _span = span::enter("codec.encode");
         let mut line = [0u8; LINE_BYTES];
         for (i, &h) in self.hmacs.iter().enumerate() {
             line[i * 8..(i + 1) * 8].copy_from_slice(&h.to_le_bytes());
@@ -173,6 +177,7 @@ impl BmtNode {
 
     /// Unpacks a node from a 64 B line.
     pub fn from_line(line: &Line) -> Self {
+        let _span = span::enter("codec.decode");
         let mut hmacs = [0u64; COUNTERS_PER_NODE];
         for (i, hmac) in hmacs.iter_mut().enumerate() {
             *hmac = u64::from_le_bytes(line[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));

@@ -12,6 +12,7 @@ use crate::fault::{self, FaultRecord, NvmFault, WORDS_PER_LINE};
 use crate::store::{Line, NvmStore};
 use crate::timing::{PcmDevice, PcmTiming};
 use crate::wpq::{Enqueued, InFlight, WpqStats, WritePendingQueue};
+use scue_util::obs::span;
 
 /// What a memory access carries — the paper separates user-data traffic
 /// from security-metadata traffic throughout the evaluation (§V-E).
@@ -130,6 +131,7 @@ impl MemoryController {
     /// Accepts a write; the line is durable once accepted (ADR covers the
     /// WPQ), and the media write drains in the background.
     pub fn write(&mut self, addr: LineAddr, line: Line, now: Cycle, kind: AccessKind) -> Enqueued {
+        let _span = span::enter("wpq.persist");
         let wpq = match kind {
             AccessKind::UserData => {
                 self.stats.user_writes += 1;
@@ -152,6 +154,7 @@ impl MemoryController {
     /// durable immediately and counts toward §V-E access statistics, but
     /// adds no separate device transaction.
     pub fn write_coalesced(&mut self, addr: LineAddr, line: Line, kind: AccessKind) {
+        let _span = span::enter("wpq.persist");
         match kind {
             AccessKind::UserData => self.stats.user_writes += 1,
             AccessKind::Metadata => self.stats.meta_writes += 1,

@@ -1,28 +1,42 @@
-//! `scue-check-metrics` — validate a `scue-simulate --metrics-json`
-//! or `scue-torture --json` document without any external tooling (the
-//! pure-Rust stand-in for `jq` in `scripts/verify.sh`).
+//! `scue-check-metrics` — validate the repo's JSON documents without
+//! any external tooling (the pure-Rust stand-in for `jq` in
+//! `scripts/verify.sh`).
 //!
 //! ```text
 //! scue-check-metrics PATH
+//! scue-check-metrics --compare-trajectory OLD NEW
 //! ```
 //!
-//! Dispatches on the document's `kind` tag. For run metrics: expected
-//! schema version, every required section present, write-latency
-//! percentiles ordered (`p50 <= p95 <= p99 <= max`), a positive
-//! `config.jobs` provenance field, and — on crash runs — an integer
+//! Dispatches on the document's `kind` tag (Chrome traces are spotted
+//! by their `traceEvents` array). For run metrics: expected schema
+//! version, every required section present, write-latency percentiles
+//! ordered (`p50 <= p95 <= p99 <= max`), a positive `config.jobs`
+//! provenance field, and — on crash runs — an integer
 //! `recovery.repaired_leaves`. For torture campaigns: expected schema
 //! version, non-empty scheme tallies whose outcome histograms partition
 //! the cases and whose `repaired_leaves` covers the `repaired_counter`
 //! outcome count, a violation list consistent with `total_violations`,
-//! and — when present — a positive `provenance.jobs`. Prints the first
-//! violation and exits 1 otherwise.
+//! and — when present — a positive `provenance.jobs`. For
+//! `scue-profile` documents: per-scheme span tables with coherent
+//! stats (`self_ns <= total_ns`), and — on the monotonic clock only,
+//! where durations are real nanoseconds — at least 90% of root wall
+//! time attributed to named spans. For `scue-bench-trajectory`
+//! snapshots: positive throughput and primitive medians.
+//!
+//! `--compare-trajectory` applies the regression gate between two
+//! snapshots (DESIGN.md §12): engine throughput may regress at most
+//! 30%, allocations per op may grow at most 10% + 8, primitive medians
+//! at most 35% + 20 ns. Prints the first violation and exits 1.
 
 use scue_sim::torture::CaseClass;
-use scue_sim::{METRICS_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION};
+use scue_sim::{
+    METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND,
+    TORTURE_SCHEMA_VERSION,
+};
 use scue_util::obs::Json;
 
 /// Sections every metrics document must carry.
-const REQUIRED_SECTIONS: [&str; 10] = [
+const REQUIRED_SECTIONS: [&str; 11] = [
     "schema_version",
     "config",
     "totals",
@@ -33,7 +47,29 @@ const REQUIRED_SECTIONS: [&str; 10] = [
     "wpq",
     "counters",
     "series",
+    "trace",
 ];
+
+/// `kind` tag of a perf-trajectory snapshot (`bench_trajectory`).
+const TRAJECTORY_DOC_KIND: &str = "scue-bench-trajectory";
+/// Expected trajectory schema version.
+const TRAJECTORY_SCHEMA_VERSION: u64 = 1;
+/// `otherData.kind` tag of a Chrome trace-event export.
+const CHROME_DOC_KIND: &str = "scue-chrome-trace";
+/// Monotonic-clock profiles must attribute at least this share of root
+/// wall time to named spans. Virtual-clock profiles are exempt: tick
+/// durations count span boundaries, not time, so coverage is
+/// structurally capped near 50% for flat fan-outs.
+const MIN_MONOTONIC_COVERAGE_PCT: f64 = 90.0;
+
+// Regression-gate tolerances (DESIGN.md §12). Throughput and latency
+// are wall-clock measurements on a shared machine, so the bands are
+// wide; allocation counts are nearly deterministic, so theirs is tight.
+const OPS_REGRESSION_PCT: f64 = 30.0;
+const ALLOC_GROWTH_PCT: f64 = 10.0;
+const ALLOC_GROWTH_SLACK: f64 = 8.0;
+const PRIMITIVE_GROWTH_PCT: f64 = 35.0;
+const PRIMITIVE_GROWTH_SLACK_NS: f64 = 20.0;
 
 fn fail(msg: &str) -> ! {
     eprintln!("scue-check-metrics: {msg}");
@@ -95,6 +131,10 @@ fn check(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_u64)
             .ok_or("recovery.repaired_leaves is not an integer")?;
     }
+    doc.get("trace")
+        .and_then(|t| t.get("dropped_events"))
+        .and_then(Json::as_u64)
+        .ok_or("trace.dropped_events is not an integer")?;
     Ok(())
 }
 
@@ -208,34 +248,389 @@ fn check_torture(doc: &Json) -> Result<(), String> {
     check_provenance(doc)
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: scue-check-metrics PATH");
-        std::process::exit(2);
+/// Reads one span entry (`SpanProfile::to_json` element), checking
+/// stat coherence. Returns the span's name.
+fn check_span_entry(ctx: &str, span: &Json) -> Result<String, String> {
+    let name = span
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or(format!("{ctx}: span entry without a `name`"))?;
+    span.get("parent")
+        .and_then(Json::as_str)
+        .ok_or(format!("{ctx}: span `{name}` without a `parent`"))?;
+    let stat = |key: &str| {
+        span.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("{ctx}: span `{name}`: `{key}` is not an integer"))
     };
-    let text = match std::fs::read_to_string(&path) {
+    let calls = stat("calls")?;
+    if calls == 0 {
+        return Err(format!("{ctx}: span `{name}` recorded with zero calls"));
+    }
+    let (total, self_ns) = (stat("total_ns")?, stat("self_ns")?);
+    if self_ns > total {
+        return Err(format!(
+            "{ctx}: span `{name}`: self_ns {self_ns} exceeds total_ns {total}"
+        ));
+    }
+    stat("allocs")?;
+    stat("alloc_bytes")?;
+    Ok(name.to_string())
+}
+
+/// Validates a `scue-profile` document.
+fn check_profile(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != PROFILE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {PROFILE_SCHEMA_VERSION}"
+        ));
+    }
+    let clock = doc
+        .get("clock")
+        .and_then(Json::as_str)
+        .ok_or("`clock` is not a string")?;
+    if clock != "monotonic" && clock != "virtual" {
+        return Err(format!("unknown clock `{clock}`"));
+    }
+    let ops = doc
+        .get("ops")
+        .and_then(Json::as_u64)
+        .ok_or("`ops` is not an integer")?;
+    if ops == 0 {
+        return Err("`ops` must be positive".to_string());
+    }
+    doc.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("`seed` is not an integer")?;
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("`schemes` is not an array")?;
+    if schemes.is_empty() {
+        return Err("`schemes` is empty".to_string());
+    }
+    for entry in schemes {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("scheme entry without a `scheme` name")?;
+        let coverage = entry
+            .get("coverage_pct")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{name}: `coverage_pct` is not a number"))?;
+        if clock == "monotonic" && coverage < MIN_MONOTONIC_COVERAGE_PCT {
+            return Err(format!(
+                "{name}: only {coverage:.1}% of wall time attributed to named \
+                 spans (budget: {MIN_MONOTONIC_COVERAGE_PCT}%)"
+            ));
+        }
+        match entry.get("recovered") {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(format!("{name}: `recovered` is not a boolean")),
+        }
+        for (section, keys) in [
+            ("alloc", ["allocs", "bytes"]),
+            ("trace", ["recorded", "dropped_events"]),
+        ] {
+            let obj = entry
+                .get(section)
+                .ok_or(format!("{name}: missing `{section}`"))?;
+            for key in keys {
+                obj.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("{name}: {section}.{key} is not an integer"))?;
+            }
+        }
+        let spans = entry
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{name}: `spans` is not an array"))?;
+        if spans.is_empty() {
+            return Err(format!("{name}: `spans` is empty"));
+        }
+        for span in spans {
+            check_span_entry(name, span)?;
+        }
+    }
+    let aggregate = doc
+        .get("aggregate_spans")
+        .and_then(Json::as_arr)
+        .ok_or("`aggregate_spans` is not an array")?;
+    if aggregate.is_empty() {
+        return Err("`aggregate_spans` is empty".to_string());
+    }
+    for span in aggregate {
+        check_span_entry("aggregate", span)?;
+    }
+    check_provenance(doc)
+}
+
+/// Validates a Chrome trace-event export (`scue-profile
+/// --chrome-trace`). Detected by its `traceEvents` array rather than a
+/// top-level `kind` tag, which the trace-event format reserves.
+fn check_chrome(doc: &Json) -> Result<(), String> {
+    let other = doc.get("otherData").ok_or("missing `otherData`")?;
+    let kind = other
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("otherData.kind is not a string")?;
+    if kind != CHROME_DOC_KIND {
+        return Err(format!(
+            "otherData.kind `{kind}`, expected {CHROME_DOC_KIND}"
+        ));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("`traceEvents` is not an array")?;
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".to_string());
+    }
+    let mut spans = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("traceEvents[{i}]: `ph` is not a string"))?;
+        event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("traceEvents[{i}]: `name` is not a string"))?;
+        match ph {
+            "X" => {
+                spans += 1;
+                for key in ["ts", "dur"] {
+                    let v = event
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("traceEvents[{i}]: `{key}` is not a number"))?;
+                    if v < 0.0 {
+                        return Err(format!("traceEvents[{i}]: negative `{key}`"));
+                    }
+                }
+            }
+            "i" | "M" => {}
+            other => return Err(format!("traceEvents[{i}]: unknown phase `{other}`")),
+        }
+    }
+    if spans == 0 {
+        return Err("trace carries no complete (`ph:\"X\"`) span events".to_string());
+    }
+    Ok(())
+}
+
+/// Validates a `bench_trajectory` snapshot.
+fn check_trajectory(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != TRAJECTORY_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {TRAJECTORY_SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["pr", "engine_ops", "samples"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("`{key}` is not an integer"))?;
+        if v == 0 && key != "pr" {
+            return Err(format!("`{key}` must be positive"));
+        }
+    }
+    let engine = doc
+        .get("engine")
+        .and_then(Json::as_arr)
+        .ok_or("`engine` is not an array")?;
+    if engine.is_empty() {
+        return Err("`engine` is empty".to_string());
+    }
+    for entry in engine {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("engine entry without a `scheme` name")?;
+        let ops = entry
+            .get("ops_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{name}: `ops_per_sec` is not a number"))?;
+        if ops <= 0.0 {
+            return Err(format!("{name}: non-positive ops_per_sec {ops}"));
+        }
+        for key in ["allocs_per_op", "alloc_bytes_per_op"] {
+            let v = entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{name}: `{key}` is not a number"))?;
+            if v < 0.0 {
+                return Err(format!("{name}: negative {key}"));
+            }
+        }
+    }
+    let primitives = doc
+        .get("primitives")
+        .and_then(Json::as_arr)
+        .ok_or("`primitives` is not an array")?;
+    if primitives.is_empty() {
+        return Err("`primitives` is empty".to_string());
+    }
+    for entry in primitives {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("primitive entry without a `name`")?;
+        let ns = entry
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{name}: `median_ns` is not a number"))?;
+        if ns <= 0.0 {
+            return Err(format!("{name}: non-positive median_ns {ns}"));
+        }
+    }
+    check_provenance(doc)
+}
+
+/// Collects `(label, value)` pairs from a trajectory array section.
+fn trajectory_values(
+    doc: &Json,
+    section: &str,
+    label_key: &str,
+    value_key: &str,
+) -> Vec<(String, f64)> {
+    doc.get(section)
+        .and_then(Json::as_arr)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    let label = e.get(label_key).and_then(Json::as_str)?;
+                    let value = e.get(value_key).and_then(Json::as_f64)?;
+                    Some((label.to_string(), value))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The regression gate: compares a new trajectory snapshot against its
+/// predecessor. Both documents must already have passed
+/// [`check_trajectory`]. Returns the number of metrics compared.
+fn compare_trajectory(old: &Json, new: &Json) -> Result<u64, String> {
+    let mut compared = 0;
+    // Throughput: the new snapshot may be slower, within the band.
+    let new_ops = trajectory_values(new, "engine", "scheme", "ops_per_sec");
+    for (scheme, old_ops) in trajectory_values(old, "engine", "scheme", "ops_per_sec") {
+        let Some((_, now)) = new_ops.iter().find(|(s, _)| *s == scheme) else {
+            continue;
+        };
+        let floor = old_ops * (1.0 - OPS_REGRESSION_PCT / 100.0);
+        if *now < floor {
+            return Err(format!(
+                "{scheme}: engine throughput regressed {:.0} -> {:.0} ops/s \
+                 (floor {:.0}, tolerance {OPS_REGRESSION_PCT}%)",
+                old_ops, now, floor
+            ));
+        }
+        compared += 1;
+    }
+    // Allocation cost: nearly deterministic, so the band is tight.
+    let new_allocs = trajectory_values(new, "engine", "scheme", "allocs_per_op");
+    for (scheme, old_allocs) in trajectory_values(old, "engine", "scheme", "allocs_per_op") {
+        let Some((_, now)) = new_allocs.iter().find(|(s, _)| *s == scheme) else {
+            continue;
+        };
+        let ceiling = old_allocs * (1.0 + ALLOC_GROWTH_PCT / 100.0) + ALLOC_GROWTH_SLACK;
+        if *now > ceiling {
+            return Err(format!(
+                "{scheme}: allocations per op grew {old_allocs:.2} -> {now:.2} \
+                 (ceiling {ceiling:.2}, tolerance {ALLOC_GROWTH_PCT}% + {ALLOC_GROWTH_SLACK})"
+            ));
+        }
+        compared += 1;
+    }
+    // Primitive medians.
+    let new_prims = trajectory_values(new, "primitives", "name", "median_ns");
+    for (name, old_ns) in trajectory_values(old, "primitives", "name", "median_ns") {
+        let Some((_, now)) = new_prims.iter().find(|(n, _)| *n == name) else {
+            continue;
+        };
+        let ceiling = old_ns * (1.0 + PRIMITIVE_GROWTH_PCT / 100.0) + PRIMITIVE_GROWTH_SLACK_NS;
+        if *now > ceiling {
+            return Err(format!(
+                "{name}: median grew {old_ns:.2} -> {now:.2} ns \
+                 (ceiling {ceiling:.2}, tolerance {PRIMITIVE_GROWTH_PCT}% + \
+                 {PRIMITIVE_GROWTH_SLACK_NS} ns)"
+            ));
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("snapshots share no comparable metrics".to_string());
+    }
+    Ok(compared)
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => fail(&format!("cannot read {path}: {e}")),
     };
-    let doc = match Json::parse(&text) {
+    match Json::parse(&text) {
         Ok(d) => d,
         Err(e) => fail(&format!("{path}: invalid JSON: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() == 3 && args[0] == "--compare-trajectory" {
+        let (old_path, new_path) = (&args[1], &args[2]);
+        let (old, new) = (load(old_path), load(new_path));
+        for (path, doc) in [(old_path, &old), (new_path, &new)] {
+            if let Err(msg) = check_trajectory(doc) {
+                fail(&format!("{path}: {msg}"));
+            }
+        }
+        match compare_trajectory(&old, &new) {
+            Ok(n) => println!("{new_path}: ok ({n} metrics within tolerance of {old_path})"),
+            Err(msg) => fail(&format!("{new_path} vs {old_path}: {msg}")),
+        }
+        return;
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("usage: scue-check-metrics PATH");
+        eprintln!("       scue-check-metrics --compare-trajectory OLD NEW");
+        std::process::exit(2);
     };
+    let doc = load(path);
     let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
-    let (checked, version) = if kind == TORTURE_DOC_KIND {
-        (check_torture(&doc), TORTURE_SCHEMA_VERSION)
+    let (checked, label, version) = if doc.get("traceEvents").is_some() {
+        (check_chrome(&doc), CHROME_DOC_KIND, PROFILE_SCHEMA_VERSION)
+    } else if kind == TORTURE_DOC_KIND {
+        (check_torture(&doc), kind, TORTURE_SCHEMA_VERSION)
+    } else if kind == PROFILE_DOC_KIND {
+        (check_profile(&doc), kind, PROFILE_SCHEMA_VERSION)
+    } else if kind == TRAJECTORY_DOC_KIND {
+        (check_trajectory(&doc), kind, TRAJECTORY_SCHEMA_VERSION)
     } else {
-        (check(&doc), METRICS_SCHEMA_VERSION)
+        (
+            check(&doc),
+            if kind.is_empty() {
+                "scue-metrics"
+            } else {
+                kind
+            },
+            METRICS_SCHEMA_VERSION,
+        )
     };
     if let Err(msg) = checked {
         fail(&format!("{path}: {msg}"));
     }
-    let label = if kind.is_empty() {
-        "scue-metrics"
-    } else {
-        kind
-    };
     println!("{path}: ok ({label} schema v{version})");
 }
 
@@ -311,6 +706,136 @@ mod tests {
             .with("total_violations", Json::U64(0))
             .with("schemes", Json::Arr(vec![scheme]))
             .with("violations", Json::Arr(vec![]))
+    }
+
+    fn profile_docs() -> (Json, Json) {
+        use scue_sim::profile::{self, ProfileConfig};
+        use scue_util::obs::span::Clock;
+        let cfg = ProfileConfig {
+            schemes: vec![SchemeKind::Scue],
+            ops: 40,
+            seed: 3,
+            clock: Clock::Virtual,
+        };
+        let results = profile::run(&cfg, 1);
+        (
+            profile::to_doc(&cfg, &results),
+            profile::to_chrome_trace(&cfg, &results),
+        )
+    }
+
+    #[test]
+    fn live_profile_and_chrome_docs_pass() {
+        let (profile, chrome) = profile_docs();
+        check_profile(&profile).unwrap();
+        check_chrome(&chrome).unwrap();
+    }
+
+    #[test]
+    fn profile_coverage_gate_applies_only_to_the_monotonic_clock() {
+        // Virtual-clock tick durations count span boundaries, not
+        // time, so low coverage is structural there and must pass —
+        // while the same figure on the monotonic clock means real wall
+        // time escaped the span taxonomy and must fail.
+        let (profile, _) = profile_docs();
+        let mut low = profile;
+        let schemes = match low.get("schemes").cloned() {
+            Some(Json::Arr(mut schemes)) => {
+                schemes[0].set("coverage_pct", Json::F64(48.0));
+                Json::Arr(schemes)
+            }
+            other => panic!("schemes missing: {other:?}"),
+        };
+        low.set("schemes", schemes);
+        check_profile(&low).unwrap();
+        let rendered = low
+            .render_doc()
+            .replace("\"clock\":\"virtual\"", "\"clock\":\"monotonic\"");
+        let err = check_profile(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("attributed"), "{err}");
+    }
+
+    #[test]
+    fn incoherent_span_stats_are_rejected() {
+        let (profile, _) = profile_docs();
+        let mut doc = profile;
+        // Corrupt the first aggregate span: self time above total.
+        let spans = match doc.get("aggregate_spans").cloned() {
+            Some(Json::Arr(mut spans)) => {
+                spans[0].set("self_ns", Json::U64(u64::MAX));
+                Json::Arr(spans)
+            }
+            other => panic!("aggregate_spans missing: {other:?}"),
+        };
+        doc.set("aggregate_spans", spans);
+        let err = check_profile(&doc).unwrap_err();
+        assert!(err.contains("exceeds total_ns"), "{err}");
+    }
+
+    #[test]
+    fn chrome_doc_without_span_events_is_rejected() {
+        let doc = Json::obj()
+            .with(
+                "traceEvents",
+                Json::Arr(vec![Json::obj()
+                    .with("name", Json::Str("process_name".into()))
+                    .with("ph", Json::Str("M".into()))]),
+            )
+            .with(
+                "otherData",
+                Json::obj().with("kind", Json::Str(CHROME_DOC_KIND.into())),
+            );
+        let err = check_chrome(&doc).unwrap_err();
+        assert!(err.contains("no complete"), "{err}");
+    }
+
+    fn trajectory_doc(ops_per_sec: f64, allocs_per_op: f64, hmac_ns: f64) -> Json {
+        Json::obj()
+            .with("schema_version", Json::U64(TRAJECTORY_SCHEMA_VERSION))
+            .with("kind", Json::Str(TRAJECTORY_DOC_KIND.into()))
+            .with("pr", Json::U64(7))
+            .with("engine_ops", Json::U64(1000))
+            .with("samples", Json::U64(3))
+            .with(
+                "engine",
+                Json::Arr(vec![Json::obj()
+                    .with("scheme", Json::Str("SCUE".into()))
+                    .with("ops_per_sec", Json::F64(ops_per_sec))
+                    .with("allocs_per_op", Json::F64(allocs_per_op))
+                    .with("alloc_bytes_per_op", Json::F64(256.0))]),
+            )
+            .with(
+                "primitives",
+                Json::Arr(vec![Json::obj()
+                    .with("name", Json::Str("hmac.compute".into()))
+                    .with("median_ns", Json::F64(hmac_ns))]),
+            )
+    }
+
+    #[test]
+    fn trajectory_gate_tolerates_noise_but_catches_regressions() {
+        let old = trajectory_doc(1_000_000.0, 3.0, 50.0);
+        check_trajectory(&old).unwrap();
+        // Within band: 20% slower, slightly more allocs, noisy hmac.
+        let ok = trajectory_doc(800_000.0, 3.2, 60.0);
+        assert_eq!(compare_trajectory(&old, &ok), Ok(3));
+        // Throughput through the floor.
+        let slow = trajectory_doc(600_000.0, 3.0, 50.0);
+        let err = compare_trajectory(&old, &slow).unwrap_err();
+        assert!(err.contains("throughput regressed"), "{err}");
+        // Allocation growth beyond 10% + 8.
+        let leaky = trajectory_doc(1_000_000.0, 12.0, 50.0);
+        let err = compare_trajectory(&old, &leaky).unwrap_err();
+        assert!(err.contains("allocations per op"), "{err}");
+        // Primitive median beyond 35% + 20 ns.
+        let hot = trajectory_doc(1_000_000.0, 3.0, 90.0);
+        let err = compare_trajectory(&old, &hot).unwrap_err();
+        assert!(err.contains("hmac.compute"), "{err}");
+        // Disjoint snapshots cannot be gated.
+        let mut alien = trajectory_doc(1.0, 1.0, 1.0);
+        alien.set("engine", Json::Arr(vec![]));
+        alien.set("primitives", Json::Arr(vec![]));
+        assert!(compare_trajectory(&old, &alien).is_err());
     }
 
     #[test]

@@ -174,11 +174,18 @@ fn export(args: &Args, system: &System, report: &RunReport) {
     }
     if let Some(path) = &args.trace_events {
         write_file(path, &system.engine().trace().to_json().render_doc());
+        let dropped = system.engine().trace().dropped();
         println!(
-            "event trace:       {path} ({} recorded, {} dropped)",
+            "event trace:       {path} ({} recorded, {dropped} dropped_events)",
             system.engine().trace().recorded(),
-            system.engine().trace().dropped()
         );
+        if dropped > 0 {
+            eprintln!(
+                "scue-simulate: warning: event ring overflowed; {dropped} oldest \
+                 events were dropped (re-run with a shorter window or raise the \
+                 trace capacity)"
+            );
+        }
     }
 }
 

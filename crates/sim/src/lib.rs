@@ -28,11 +28,13 @@
 
 pub mod config;
 pub mod experiment;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod torture;
 
 pub use config::SystemConfig;
+pub use profile::{ProfileConfig, SchemeProfile, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION};
 pub use report::{ReportConfig, RunReport, METRICS_SCHEMA_VERSION};
 pub use runner::{RunResult, System};
 pub use torture::{

@@ -139,6 +139,12 @@ impl RunReport {
 
         let series = Json::Arr(r.samples.iter().map(|s| s.to_json()).collect());
 
+        // Surface ring-buffer truncation: a consumer must never mistake
+        // a truncated event trace for a complete one.
+        let trace = Json::obj()
+            .with("recorded", Json::U64(r.trace_recorded))
+            .with("dropped_events", Json::U64(r.trace_dropped));
+
         let mut doc = Json::obj()
             .with("schema_version", Json::U64(METRICS_SCHEMA_VERSION))
             .with("kind", Json::Str("scue-metrics".to_string()))
@@ -150,7 +156,8 @@ impl RunReport {
             .with("mdcache", mdcache)
             .with("wpq", wpq)
             .with("counters", counters.to_json())
-            .with("series", series);
+            .with("series", series)
+            .with("trace", trace);
         if let Some(recovery) = &self.recovery {
             doc.set("recovery", recovery_json(recovery));
         }

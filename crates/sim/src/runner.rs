@@ -39,6 +39,12 @@ pub struct RunResult {
     /// Epoch time-series of gauges (empty unless
     /// [`System::set_sample_interval`] was called before the run).
     pub samples: Vec<EpochSample>,
+    /// Events recorded by the engine's event trace (0 when tracing was
+    /// never enabled).
+    pub trace_recorded: u64,
+    /// Events the bounded trace ring dropped — non-zero means the
+    /// exported trace is a truncated suffix of the run.
+    pub trace_dropped: u64,
 }
 
 impl RunResult {
@@ -380,6 +386,8 @@ impl System {
                 .as_ref()
                 .map(|s| s.samples().to_vec())
                 .unwrap_or_default(),
+            trace_recorded: self.engine.trace().recorded(),
+            trace_dropped: self.engine.trace().dropped(),
         }
     }
 

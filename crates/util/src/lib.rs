@@ -16,13 +16,17 @@
 //!   (replaces `criterion`);
 //! * [`obs`] — the observability substrate: log2-bucketed histograms,
 //!   named counters, a bounded event-trace ring buffer, an epoch gauge
-//!   sampler, and a minimal JSON value type for versioned exports;
+//!   sampler, a hierarchical span self-profiler with a counting global
+//!   allocator, and a minimal JSON value type for versioned exports;
 //! * [`par`] — a deterministic fan-out executor on
 //!   `std::thread::scope`: index-derived seed streams, index-ordered
 //!   collection and first-cell panic propagation, so sweeps produce
 //!   byte-identical output at any `--jobs` count.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator
+// (`obs::alloc`) implements the inherently-unsafe `GlobalAlloc` trait
+// and carries the workspace's only `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

@@ -12,15 +12,26 @@
 //!   under 3% when tracing is not requested.
 //! * **All exports are versioned JSON** — documents carry a
 //!   `schema_version` field so downstream tooling can evolve safely.
+//!
+//! The [`span`] self-profiler and [`alloc`] counting allocator follow
+//! the same contract: both are off by default and cost one relaxed
+//! atomic load per probe when off, and both aggregate into mergeable,
+//! deterministic structures (`SpanProfile::merge` is commutative like
+//! `Histogram::merge`, so `scue_util::par` fan-outs fold per-worker
+//! profiles in any order).
 
+#[allow(unsafe_code)]
+pub mod alloc;
 mod counters;
 mod hist;
 mod json;
 mod sampler;
+pub mod span;
 mod trace;
 
 pub use counters::CounterRegistry;
 pub use hist::{Histogram, BUCKETS};
 pub use json::Json;
 pub use sampler::{EpochSample, EpochSampler};
+pub use span::{SpanGuard, SpanProfile, SpanStats};
 pub use trace::{EventKind, EventTrace, TraceEvent};

@@ -337,7 +337,7 @@ impl EventTrace {
             .with("schema_version", Json::U64(1))
             .with("kind", Json::Str("scue-event-trace".into()))
             .with("recorded", Json::U64(self.recorded))
-            .with("dropped", Json::U64(self.dropped))
+            .with("dropped_events", Json::U64(self.dropped))
             .with(
                 "events",
                 Json::Arr(self.events().map(TraceEvent::to_json).collect()),

@@ -49,6 +49,60 @@ if ! diff <(strip_provenance "$metrics_tmp/torture.json") \
 fi
 echo "torture wall-clock: --jobs 4: $((t1 - t0)) ms, --jobs 1: $((t2 - t1)) ms"
 
+echo "==> span-profiler smoke (scue-profile, monotonic clock, coverage >= 90%)"
+# check-metrics enforces the attribution budget on monotonic documents:
+# at least 90% of engine wall time must land in named spans.
+cargo run --release --offline -q -p scue-sim --bin scue-profile -- \
+    --scheme scue --ops 300 --clock monotonic \
+    --json "$metrics_tmp/profile_mono.json" \
+    --chrome-trace "$metrics_tmp/chrome_mono.json" > /dev/null
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/profile_mono.json"
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/chrome_mono.json"
+
+echo "==> profile determinism: virtual clock, --jobs 1 vs --jobs 4 (provenance stripped)"
+cargo run --release --offline -q -p scue-sim --bin scue-profile -- \
+    --ops 120 --clock virtual --jobs 4 \
+    --json "$metrics_tmp/profile_par.json" \
+    --chrome-trace "$metrics_tmp/chrome_par.json" > /dev/null
+cargo run --release --offline -q -p scue-sim --bin scue-profile -- \
+    --ops 120 --clock virtual --jobs 1 \
+    --json "$metrics_tmp/profile_serial.json" \
+    --chrome-trace "$metrics_tmp/chrome_serial.json" > /dev/null
+for pair in profile chrome; do
+    if ! diff <(strip_provenance "$metrics_tmp/${pair}_par.json") \
+              <(strip_provenance "$metrics_tmp/${pair}_serial.json") > /dev/null; then
+        echo "ERROR: scue-profile $pair payload differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    fi
+done
+echo "profile + chrome-trace payloads byte-identical across job counts"
+
+echo "==> perf trajectory (committed BENCH_*.json snapshots)"
+# Every committed snapshot must validate; once two or more exist, the
+# newest must stay within tolerance of its predecessor (the regression
+# gate arms automatically as the trajectory grows).
+mapfile -t bench_files < <(ls BENCH_*.json 2>/dev/null | sort -V)
+if [ "${#bench_files[@]}" -eq 0 ]; then
+    echo "ERROR: no committed BENCH_*.json trajectory snapshot found" >&2
+    exit 1
+fi
+for f in "${bench_files[@]}"; do
+    cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- "$f"
+done
+if [ "${#bench_files[@]}" -ge 2 ]; then
+    prev="${bench_files[$((${#bench_files[@]} - 2))]}"
+    newest="${bench_files[$((${#bench_files[@]} - 1))]}"
+    cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+        --compare-trajectory "$prev" "$newest"
+else
+    echo "trajectory seeded with ${bench_files[0]}; gate arms at the second snapshot"
+fi
+
+echo "==> observability overhead guard (obs_overhead, <3% with everything off)"
+cargo run --release --offline -q -p scue-bench --bin obs_overhead
+
 echo "==> verifying zero external dependencies"
 # Every line of `cargo tree` must be a workspace crate (scue*) or tree
 # drawing; any other crate name means a crates-io dependency crept in.

@@ -9,11 +9,13 @@
 //! SCUE_UPDATE_GOLDEN=1 cargo test --test par_determinism
 //! ```
 
-use scue_bench::rows_to_json;
+use scue_bench::{hash_rows_to_json, rows_to_json};
 use scue_sim::experiment::{
-    comparison_grid, hash_latency_sweep, metadata_accesses_vs_lazy, HashSweepRow, Metric,
+    comparison_grid, hash_latency_sweep, metadata_accesses_vs_lazy, Metric,
 };
+use scue_sim::profile::{self, ProfileConfig};
 use scue_sim::torture::{self, TortureConfig};
+use scue_util::obs::span::Clock;
 use scue_util::obs::Json;
 use scue_workloads::Workload;
 use std::path::PathBuf;
@@ -64,27 +66,6 @@ fn assert_jobs_invariant(name: &str, render_at: impl Fn(usize) -> String) {
     assert_matches_golden(name, &serial);
 }
 
-fn hash_rows_to_json(rows: &[HashSweepRow]) -> Json {
-    Json::Arr(
-        rows.iter()
-            .map(|row| {
-                let mut points = Json::obj();
-                for (lat, v) in &row.points {
-                    points.set(&lat.to_string(), Json::F64(*v));
-                }
-                let mut percentiles = Json::obj();
-                for (lat, s) in &row.summaries {
-                    percentiles.set(&lat.to_string(), s.to_json());
-                }
-                Json::obj()
-                    .with("workload", Json::Str(row.workload.name().to_string()))
-                    .with("normalized", points)
-                    .with("write_latency_cycles", percentiles)
-            })
-            .collect(),
-    )
-}
-
 #[test]
 fn comparison_grids_are_jobs_invariant() {
     for (name, metric) in [
@@ -128,6 +109,23 @@ fn metadata_access_grid_is_jobs_invariant() {
                 .collect(),
         )
         .render_doc()
+    });
+}
+
+#[test]
+fn profile_document_is_jobs_invariant() {
+    // The span profiler on the virtual clock: per-thread tick
+    // durations, allocator attribution and the Chrome trace must all
+    // be schedule-independent, so the whole `scue-profile` document
+    // (the bin attaches `provenance` separately) is golden-checked.
+    let cfg = ProfileConfig {
+        schemes: vec![scue::SchemeKind::Scue, scue::SchemeKind::Baseline],
+        ops: 60,
+        seed: 3,
+        clock: Clock::Virtual,
+    };
+    assert_jobs_invariant("profile_virtual.json", |jobs| {
+        profile::to_doc(&cfg, &profile::run(&cfg, jobs)).render_doc()
     });
 }
 
