@@ -22,6 +22,7 @@
 //! inconsistency, which is the paper's headline problem.
 
 use crate::config::{SchemeKind, SecureMemConfig};
+use crate::durable::{CheckpointError, CheckpointReport, DurableMeta, DurableOpenError};
 use crate::meta::MetaEntry;
 use crate::recovery::{self, RecoveryOutcome, RecoveryReport};
 use crate::stats::EngineStats;
@@ -176,10 +177,16 @@ pub struct SecureMemory {
 impl SecureMemory {
     /// Builds an engine from a configuration.
     pub fn new(cfg: SecureMemConfig) -> Self {
+        Self::with_store(cfg, scue_nvm::NvmStore::new())
+    }
+
+    /// Builds an engine over an explicit NVM store — the durable path
+    /// hands a file-backed store in; everything else is identical.
+    fn with_store(cfg: SecureMemConfig, store: scue_nvm::NvmStore) -> Self {
         let key = SecretKey::from_seed(cfg.key_seed);
         let ctx = SitContext::new(cfg.geometry.clone(), key);
         let mc = MemoryController::new(
-            scue_nvm::NvmStore::new(),
+            store,
             scue_nvm::timing::PcmDevice::paper(),
             cfg.user_wpq,
             cfg.meta_wpq,
@@ -202,6 +209,97 @@ impl SecureMemory {
             stats: EngineStats::default(),
             trace: EventTrace::disabled(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable images (file-backed store + checkpoints)
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh durable image at `path` and seals an initial
+    /// checkpoint so the file is openable even if the process dies
+    /// before the first explicit [`Self::checkpoint`].
+    pub fn create_durable(
+        cfg: SecureMemConfig,
+        path: &std::path::Path,
+    ) -> Result<Self, DurableOpenError> {
+        let store = scue_nvm::NvmStore::create_file(path)?;
+        let mut engine = Self::with_store(cfg, store);
+        engine
+            .commit_checkpoint(0)
+            .map_err(|e| DurableOpenError::Image(scue_nvm::OpenError::Io(e)))?;
+        Ok(engine)
+    }
+
+    /// Opens a durable image sealed by a previous process.
+    ///
+    /// The engine comes back *crashed*: the image plus the checkpointed
+    /// roots/MACs survived power loss, but the volatile metadata cache
+    /// and in-flight state did not — callers must run
+    /// [`Self::recover`] before serving accesses, exactly as after a
+    /// simulated crash.
+    pub fn open_durable(
+        cfg: SecureMemConfig,
+        path: &std::path::Path,
+    ) -> Result<Self, DurableOpenError> {
+        let store = scue_nvm::NvmStore::open_file(path)?;
+        let meta = DurableMeta::decode(&store.meta())?;
+        meta.validate(&cfg)?;
+        let mut engine = Self::with_store(cfg, store);
+        for (slot, &c) in meta.running_root.iter().enumerate() {
+            engine.running_root.set(slot, c);
+        }
+        for (slot, &c) in meta.recovery_root.iter().enumerate() {
+            engine.recovery_root.set(slot, c);
+        }
+        for &(addr, mac) in &meta.sideband {
+            engine.sideband.set(LineAddr::new(addr), mac);
+        }
+        engine.nvmc = meta.nvmc.iter().copied().collect();
+        engine.crashed = true;
+        Ok(engine)
+    }
+
+    /// Seals a checkpoint: barriers both WPQs so every accepted write
+    /// reaches the image, serializes roots + sideband + NVMC as the
+    /// checkpoint metadata, and commits a new generation atomically.
+    ///
+    /// The checkpoint captures ADR crash-at-`now` semantics — pending
+    /// root propagation not finished by `now` is *not* folded in, and
+    /// the metadata cache is not flushed — so an engine reopened from
+    /// the image behaves exactly like one that crashed at `now`.
+    pub fn checkpoint(&mut self, now: Cycle) -> Result<CheckpointReport, CheckpointError> {
+        if self.crashed {
+            return Err(CheckpointError::Crashed);
+        }
+        Ok(self.commit_checkpoint(now)?)
+    }
+
+    fn commit_checkpoint(&mut self, now: Cycle) -> Result<CheckpointReport, scue_nvm::IoError> {
+        self.settle_pending(now);
+        let meta = DurableMeta::capture(
+            &self.cfg,
+            self.running_root.counters(),
+            self.recovery_root.counters(),
+            self.sideband.iter().map(|(a, m)| (a.raw(), m)),
+            self.nvmc.iter().map(|(&k, &v)| (k, v)),
+        )
+        .encode();
+        let (generation, flushed_at) = self.mc.checkpoint(now, &meta)?;
+        Ok(CheckpointReport {
+            generation,
+            flushed_at,
+        })
+    }
+
+    /// Generation of the newest committed checkpoint (durable stores).
+    pub fn image_generation(&self) -> u64 {
+        self.mc.store().generation()
+    }
+
+    /// Whether opening the image fell back past a torn/corrupt newest
+    /// root slot to the previous checkpoint.
+    pub fn image_fell_back(&self) -> bool {
+        self.mc.store().fell_back()
     }
 
     /// Turns on event tracing with a ring buffer of `capacity` events.
@@ -1729,5 +1827,133 @@ mod tests {
         assert!(s.mem.total() > 0);
         assert!(s.write_latency.count() == 1);
         assert!(s.read_latency.count() == 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Durable images
+    // ------------------------------------------------------------------
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scue-eng-durable-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn durable_create_checkpoint_reopen_recover_roundtrip() {
+        for scheme in [SchemeKind::Scue, SchemeKind::Plp, SchemeKind::BmfIdeal] {
+            let path = tmp(&format!("roundtrip-{scheme}.img"));
+            let _ = std::fs::remove_file(&path);
+            let mut m =
+                SecureMemory::create_durable(SecureMemConfig::small_test(scheme), &path).unwrap();
+            let mut now = 0;
+            for i in 0..24u64 {
+                now = m
+                    .persist_data(LineAddr::new(i * 5), line(i as u8 + 1), now)
+                    .unwrap();
+            }
+            let report = m.checkpoint(now).unwrap();
+            assert!(report.generation >= 2, "{scheme}");
+            drop(m);
+
+            let mut back =
+                SecureMemory::open_durable(SecureMemConfig::small_test(scheme), &path).unwrap();
+            assert!(
+                back.is_crashed(),
+                "{scheme}: reopened engines are born crashed"
+            );
+            assert!(!back.image_fell_back(), "{scheme}");
+            let rec = back.recover();
+            assert!(rec.outcome.is_success(), "{scheme}: {:?}", rec.outcome);
+            let mut now = 0;
+            for i in 0..24u64 {
+                let (data, done) = back.read_data(LineAddr::new(i * 5), now).unwrap();
+                assert_eq!(data, line(i as u8 + 1), "{scheme} line {i}");
+                now = done;
+            }
+        }
+    }
+
+    #[test]
+    fn durable_writes_after_checkpoint_do_not_survive_reopen() {
+        let path = tmp("post-ckpt-lost.img");
+        let _ = std::fs::remove_file(&path);
+        let cfg = SecureMemConfig::small_test(SchemeKind::Scue);
+        let mut m = SecureMemory::create_durable(cfg.clone(), &path).unwrap();
+        let now = m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        let now = m.checkpoint(now).unwrap().flushed_at;
+        // Never checkpointed: must vanish with the process, like ADR
+        // contents past the last power-fail-safe point.
+        m.persist_data(LineAddr::new(64), line(9), now).unwrap();
+        drop(m);
+
+        let mut back = SecureMemory::open_durable(cfg, &path).unwrap();
+        assert!(back.recover().outcome.is_success());
+        let (data, now) = back.read_data(LineAddr::new(0), 0).unwrap();
+        assert_eq!(data, line(1));
+        // The image must not contain the uncheckpointed line; its NVM
+        // line is still all-zero cipher (reads back as the OTP, with the
+        // never-written MAC exemption keeping verification green).
+        assert!(
+            !back.store().iter().any(|(a, _)| a == LineAddr::new(64)),
+            "uncheckpointed write leaked into the image"
+        );
+        let (data, _) = back.read_data(LineAddr::new(64), now).unwrap();
+        assert_ne!(data, line(9), "uncheckpointed value survived reopen");
+    }
+
+    #[test]
+    fn durable_open_rejects_config_mismatch() {
+        let path = tmp("mismatch.img");
+        let _ = std::fs::remove_file(&path);
+        let m = SecureMemory::create_durable(SecureMemConfig::small_test(SchemeKind::Scue), &path)
+            .unwrap();
+        drop(m);
+        let err = SecureMemory::open_durable(SecureMemConfig::small_test(SchemeKind::Plp), &path)
+            .unwrap_err();
+        assert!(
+            matches!(err, DurableOpenError::ConfigMismatch { what: "scheme" }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn durable_checkpoint_refused_while_crashed() {
+        let path = tmp("crashed-ckpt.img");
+        let _ = std::fs::remove_file(&path);
+        let cfg = SecureMemConfig::small_test(SchemeKind::Scue);
+        let mut m = SecureMemory::create_durable(cfg, &path).unwrap();
+        let now = m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        m.crash(now);
+        assert!(matches!(m.checkpoint(now), Err(CheckpointError::Crashed)));
+    }
+
+    #[test]
+    fn durable_torn_newest_slot_falls_back_and_recovers() {
+        let path = tmp("torn-slot.img");
+        let _ = std::fs::remove_file(&path);
+        let cfg = SecureMemConfig::small_test(SchemeKind::Scue);
+        let mut m = SecureMemory::create_durable(cfg.clone(), &path).unwrap();
+        let now = m.persist_data(LineAddr::new(0), line(1), 0).unwrap();
+        let now = m.checkpoint(now).unwrap().flushed_at;
+        let now = m.persist_data(LineAddr::new(1), line(2), now).unwrap();
+        m.checkpoint(now).unwrap();
+        drop(m);
+
+        scue_nvm::apply_durable(&path, scue_nvm::DurableFault::TornRootSlot { words_new: 3 })
+            .unwrap();
+
+        let mut back = SecureMemory::open_durable(cfg, &path).unwrap();
+        assert!(back.image_fell_back(), "torn newest slot must fall back");
+        assert!(back.recover().outcome.is_success());
+        // The fallback checkpoint predates the second persist.
+        let (data, now) = back.read_data(LineAddr::new(0), 0).unwrap();
+        assert_eq!(data, line(1));
+        assert!(
+            !back.store().iter().any(|(a, _)| a == LineAddr::new(1)),
+            "second checkpoint's line visible after fallback"
+        );
+        let (data, _) = back.read_data(LineAddr::new(1), now).unwrap();
+        assert_ne!(data, line(2), "post-fallback read saw the torn checkpoint");
     }
 }

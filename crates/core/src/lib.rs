@@ -51,6 +51,7 @@
 
 pub mod attack;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod fastrec;
 pub mod meta;
@@ -60,6 +61,7 @@ pub mod recovery;
 pub mod stats;
 
 pub use config::{SchemeKind, SecureMemConfig};
+pub use durable::{CheckpointError, CheckpointReport, DurableMeta, DurableOpenError, MetaError};
 pub use engine::{CrashError, IntegrityError, SecureMemory};
 pub use recovery::{RecoveryOutcome, RecoveryPhases, RecoveryReport};
 pub use stats::{EngineStats, LatencyStats};

@@ -63,6 +63,12 @@ impl MacSideband {
         self.macs.is_empty()
     }
 
+    /// Iterates over all stored (non-zero) MACs, order unspecified —
+    /// callers that serialize must sort.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
+        self.macs.iter().map(|(&a, &m)| (a, m))
+    }
+
     /// Captures the sideband for crash experiments.
     pub fn snapshot(&self) -> MacSidebandSnapshot {
         MacSidebandSnapshot {

@@ -8,6 +8,7 @@
 //! durable only under eADR.
 
 use crate::addr::{Cycle, LineAddr};
+use crate::backend::IoError;
 use crate::fault::{self, FaultRecord, NvmFault, WORDS_PER_LINE};
 use crate::store::{Line, NvmStore};
 use crate::timing::{PcmDevice, PcmTiming};
@@ -171,6 +172,17 @@ impl MemoryController {
     /// Cycle by which both WPQs have fully drained.
     pub fn drained_at(&self) -> Cycle {
         self.user_wpq.drained_at().max(self.meta_wpq.drained_at())
+    }
+
+    /// A checkpoint epoch boundary: flush-barriers both WPQs (charging the
+    /// drain time), then commits the functional image plus the caller's
+    /// `meta` blob as a durable checkpoint generation. Returns the
+    /// committed generation and the cycle the flush completed.
+    pub fn checkpoint(&mut self, now: Cycle, meta: &[u8]) -> Result<(u64, Cycle), IoError> {
+        let _span = span::enter("wpq.persist");
+        let flushed = self.user_wpq.barrier(now).max(self.meta_wpq.barrier(now));
+        let generation = self.store.checkpoint(meta)?;
+        Ok((generation, flushed))
     }
 
     /// Models a power failure under ADR: queued writes are already durable
@@ -371,6 +383,22 @@ mod tests {
         });
         assert!(rec.applied);
         assert_eq!(mc.peek(LineAddr::new(0))[1], 1);
+    }
+
+    #[test]
+    fn checkpoint_barriers_both_queues() {
+        let mut mc = MemoryController::for_tests();
+        mc.write(LineAddr::new(0), [1; 64], 0, AccessKind::UserData);
+        mc.write(LineAddr::new(64), [2; 64], 0, AccessKind::Metadata);
+        let horizon = mc.drained_at();
+        let (generation, flushed) = mc.checkpoint(0, b"epoch").unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(flushed, horizon, "barrier waits for the slowest drain");
+        let (user, meta) = mc.wpq_stats();
+        assert_eq!(user.barriers, 1);
+        assert_eq!(meta.barriers, 1);
+        assert_eq!(mc.store().generation(), 1);
+        assert_eq!(mc.store().meta(), b"epoch");
     }
 
     #[test]

@@ -186,6 +186,198 @@ pub fn apply(store: &mut NvmStore, fault: NvmFault) -> FaultRecord {
     FaultRecord { fault, applied }
 }
 
+/// Bytes of a root-slot page the durable injector considers "the slot":
+/// generously covers the encoded body + CRC (the rest of the page is
+/// zero padding).
+const SLOT_DAMAGE_SPAN: usize = 128;
+
+/// Damage applied to a *closed* durable image file — the storage-medium
+/// extension of the [`NvmFault`] taxonomy. The crashtest harness applies
+/// one of these between SIGKILL and reopen, modelling power-fail tearing
+/// and media rot on the bytes that actually hit the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableFault {
+    /// A commit interrupted mid-slot-write: only the first `words_new`
+    /// 8-byte words of the newest root slot made it; the tail of the
+    /// slot body is garbage. Open must fall back to the previous slot.
+    TornRootSlot {
+        /// Leading 8-byte words of the slot that persisted.
+        words_new: usize,
+    },
+    /// A single-bit upset inside the newest root slot (stale-slot rot);
+    /// the slot CRC catches it and open falls back.
+    StaleSlotBitFlip {
+        /// Byte offset within the slot body.
+        byte: usize,
+        /// Bit index within the byte (0..8).
+        bit: u8,
+    },
+    /// A committed data page whose tail is garbage (torn page program):
+    /// the first `words_new` 8-byte words survive.
+    TornPage {
+        /// Which committed data page (in logical order, wrapped).
+        nth: usize,
+        /// Leading 8-byte words of the page that persisted.
+        words_new: usize,
+    },
+    /// Whole pages chopped off the end of the file (lost tail after an
+    /// interrupted append); slot validation detects the missing extent.
+    TruncateTail {
+        /// Pages removed from the end.
+        pages: u64,
+    },
+}
+
+impl DurableFault {
+    /// A short stable name for traces and JSON.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DurableFault::TornRootSlot { .. } => "torn_root_slot",
+            DurableFault::StaleSlotBitFlip { .. } => "stale_slot_bit_flip",
+            DurableFault::TornPage { .. } => "torn_page",
+            DurableFault::TruncateTail { .. } => "truncate_tail",
+        }
+    }
+}
+
+/// Acknowledgement of one durable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableFaultRecord {
+    /// The fault that was requested.
+    pub fault: DurableFault,
+    /// Whether the file actually changed.
+    pub applied: bool,
+}
+
+/// Locates the page holding the newest decodable root slot (falling back
+/// to slot position 1 when neither decodes — a torn slot is still the
+/// right target).
+fn newest_slot_page(path: &std::path::Path) -> Result<u64, crate::backend::IoError> {
+    let gens = crate::checkpoint::FileBackend::peek_generations(path)?;
+    Ok(match gens {
+        [Some(a), Some(b)] => {
+            if crate::layout::newer_gen(a, b) {
+                1
+            } else {
+                2
+            }
+        }
+        [Some(_), None] => 1,
+        [None, Some(_)] => 2,
+        [None, None] => 1,
+    })
+}
+
+/// Applies one durable fault to a closed image file, returning whether
+/// the bytes changed. The file is damaged in place; callers reopen it
+/// afterwards and observe the typed degradation ([`crate::backend::OpenError`]
+/// or slot fallback).
+pub fn apply_durable(
+    path: &std::path::Path,
+    fault: DurableFault,
+) -> Result<DurableFaultRecord, crate::backend::IoError> {
+    use crate::backend::IoError;
+    use crate::layout::PAGE_BYTES;
+    use std::io::{Read, Seek, SeekFrom, Write};
+
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| IoError::from_io("open image for fault", &e))?;
+    let len = file
+        .metadata()
+        .map_err(|e| IoError::from_io("stat image", &e))?
+        .len();
+
+    let mut patch_page = |page_no: u64, edit: &mut dyn FnMut(&mut [u8])| -> Result<bool, IoError> {
+        let off = page_no * PAGE_BYTES as u64;
+        let mut buf = vec![0u8; PAGE_BYTES];
+        file.seek(SeekFrom::Start(off))
+            .map_err(|e| IoError::from_io("seek", &e))?;
+        let mut filled = 0usize;
+        while filled < PAGE_BYTES {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(IoError::from_io("read page", &e)),
+            }
+        }
+        let before = buf.clone();
+        edit(&mut buf);
+        if buf == before {
+            return Ok(false);
+        }
+        file.seek(SeekFrom::Start(off))
+            .map_err(|e| IoError::from_io("seek", &e))?;
+        file.write_all(&buf)
+            .map_err(|e| IoError::from_io("write page", &e))?;
+        file.sync_data()
+            .map_err(|e| IoError::from_io("fsync", &e))?;
+        Ok(true)
+    };
+
+    let applied = match fault {
+        DurableFault::TornRootSlot { words_new } => {
+            let page = newest_slot_page(path)?;
+            let split = (words_new * PERSIST_ATOM_BYTES).min(SLOT_DAMAGE_SPAN);
+            patch_page(page, &mut |buf| {
+                for b in &mut buf[split..SLOT_DAMAGE_SPAN] {
+                    *b = 0xEE;
+                }
+            })?
+        }
+        DurableFault::StaleSlotBitFlip { byte, bit } => {
+            let page = newest_slot_page(path)?;
+            let byte = byte % SLOT_DAMAGE_SPAN;
+            patch_page(page, &mut |buf| {
+                buf[byte] ^= 1 << (bit % 8);
+            })?
+        }
+        DurableFault::TornPage { nth, words_new } => {
+            // Target a page the newest checkpoint actually references, so
+            // the damage is visible to a fallback-free reopen.
+            match crate::checkpoint::FileBackend::open(path) {
+                Ok(backend) => {
+                    let pages = backend.data_pages();
+                    drop(backend);
+                    if pages.is_empty() {
+                        false
+                    } else {
+                        let phys = pages[nth % pages.len()];
+                        let split = (words_new * PERSIST_ATOM_BYTES).min(PAGE_BYTES);
+                        patch_page(phys, &mut |buf| {
+                            for b in &mut buf[split..] {
+                                *b = 0xEE;
+                            }
+                        })?
+                    }
+                }
+                // An unopenable image has nothing left to tear.
+                Err(_) => false,
+            }
+        }
+        DurableFault::TruncateTail { pages } => {
+            // Keep at least the header page so the damage is "lost tail",
+            // not "lost image".
+            let new_len = len
+                .saturating_sub(pages * PAGE_BYTES as u64)
+                .max(PAGE_BYTES as u64);
+            if new_len < len {
+                file.set_len(new_len)
+                    .map_err(|e| IoError::from_io("truncate", &e))?;
+                file.sync_data()
+                    .map_err(|e| IoError::from_io("fsync", &e))?;
+                true
+            } else {
+                false
+            }
+        }
+    };
+    Ok(DurableFaultRecord { fault, applied })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +514,109 @@ mod tests {
         };
         assert_eq!(f.addr(), LineAddr::new(9));
         assert_eq!(f.kind_name(), "bit_flip");
+    }
+
+    mod durable {
+        use super::super::*;
+        use crate::backend::Backend;
+        use crate::checkpoint::FileBackend;
+        use std::path::PathBuf;
+
+        fn image(name: &str) -> PathBuf {
+            let dir = std::env::temp_dir().join(format!("scue-dfault-{}", std::process::id()));
+            let _ = std::fs::create_dir_all(&dir);
+            let path = dir.join(name);
+            let mut b = FileBackend::create(&path).unwrap();
+            b.write_line(LineAddr::new(1), [1; LINE_BYTES]);
+            b.checkpoint(b"one").unwrap();
+            b.write_line(LineAddr::new(1), [2; LINE_BYTES]);
+            b.write_line(LineAddr::new(99), [9; LINE_BYTES]);
+            b.checkpoint(b"two").unwrap();
+            path
+        }
+
+        #[test]
+        fn torn_root_slot_forces_fallback() {
+            let path = image("torn-slot.img");
+            let gen_before = FileBackend::open(&path).unwrap().generation();
+            let rec = apply_durable(&path, DurableFault::TornRootSlot { words_new: 3 }).unwrap();
+            assert!(rec.applied);
+            let b = FileBackend::open(&path).unwrap();
+            assert!(b.fell_back());
+            assert_eq!(b.generation(), gen_before.wrapping_sub(1));
+            assert_eq!(b.meta(), b"one");
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn stale_slot_bit_flip_forces_fallback() {
+            let path = image("bitflip-slot.img");
+            let rec =
+                apply_durable(&path, DurableFault::StaleSlotBitFlip { byte: 40, bit: 2 }).unwrap();
+            assert!(rec.applied);
+            let b = FileBackend::open(&path).unwrap();
+            assert!(b.fell_back(), "CRC mismatch skips the newest slot");
+            assert_eq!(b.meta(), b"one");
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn torn_page_changes_committed_content() {
+            let path = image("torn-page.img");
+            let rec = apply_durable(
+                &path,
+                DurableFault::TornPage {
+                    nth: 0,
+                    words_new: 1,
+                },
+            )
+            .unwrap();
+            assert!(rec.applied);
+            let b = FileBackend::open(&path).unwrap();
+            assert!(!b.fell_back(), "slots are intact; only data is rotten");
+            // Logical page 0 line 1 sits past the surviving first word.
+            assert_eq!(b.read_line(LineAddr::new(1)), [0xEE; LINE_BYTES]);
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn truncate_tail_triggers_typed_degradation() {
+            let path = image("trunc.img");
+            let rec = apply_durable(&path, DurableFault::TruncateTail { pages: 1 }).unwrap();
+            assert!(rec.applied);
+            // One page gone: the newest slot's extent check fails and open
+            // falls back (or, with more damage, errors typed) — never panics.
+            match FileBackend::open(&path) {
+                Ok(b) => assert!(b.fell_back() || b.generation() > 0),
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+
+        #[test]
+        fn durable_kind_names_are_stable() {
+            assert_eq!(
+                DurableFault::TornRootSlot { words_new: 0 }.kind_name(),
+                "torn_root_slot"
+            );
+            assert_eq!(
+                DurableFault::StaleSlotBitFlip { byte: 0, bit: 0 }.kind_name(),
+                "stale_slot_bit_flip"
+            );
+            assert_eq!(
+                DurableFault::TornPage {
+                    nth: 0,
+                    words_new: 0
+                }
+                .kind_name(),
+                "torn_page"
+            );
+            assert_eq!(
+                DurableFault::TruncateTail { pages: 1 }.kind_name(),
+                "truncate_tail"
+            );
+        }
     }
 }

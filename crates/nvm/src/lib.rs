@@ -18,7 +18,14 @@
 //!   back end the simulator calls into, with per-kind access statistics.
 //! * [`fault`] — injectable media faults and the 8-byte atomic-persist
 //!   model: torn writes for crashes that interrupt an ADR flush, plus bit
-//!   flips, stuck-at bytes, and dropped WPQ entries.
+//!   flips, stuck-at bytes, and dropped WPQ entries — extended to the
+//!   durable path with torn root slots, torn pages, stale-slot bit rot,
+//!   and truncated tails applied to a closed image file.
+//! * [`backend`] / [`layout`] / [`checkpoint`] — the durable path: a
+//!   [`backend::Backend`] trait over the in-memory map and a page-granular
+//!   [`checkpoint::FileBackend`] with copy-on-write updates and dual
+//!   CRC-guarded root slots, so a SIGKILLed process reopens the image and
+//!   recovers from genuinely persisted bytes.
 //!
 //! Timing and function are deliberately separated: writes become durable
 //! (visible in the [`store::NvmStore`]) the moment they enter the WPQ —
@@ -29,15 +36,23 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod backend;
+pub mod checkpoint;
 pub mod controller;
 pub mod fault;
+pub mod layout;
 pub mod store;
 pub mod timing;
 pub mod wpq;
 
 pub use addr::{Cycle, LineAddr, LINE_BYTES};
+pub use backend::{Backend, IoError, MemBackend, OpenError};
+pub use checkpoint::FileBackend;
 pub use controller::{AccessKind, MemStats, MemoryController};
-pub use fault::{FaultPlan, FaultRecord, NvmFault, PERSIST_ATOM_BYTES, WORDS_PER_LINE};
-pub use store::NvmStore;
+pub use fault::{
+    apply_durable, DurableFault, DurableFaultRecord, FaultPlan, FaultRecord, NvmFault,
+    PERSIST_ATOM_BYTES, WORDS_PER_LINE,
+};
+pub use store::{HistoryStats, NvmStore, DEFAULT_HISTORY_CAP};
 pub use timing::PcmCounters;
 pub use wpq::WpqStats;

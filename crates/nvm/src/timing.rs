@@ -195,17 +195,18 @@ impl PcmDevice {
         }
         // Drop activates that left the window.
         while self.activates.len() >= 4 {
-            let oldest = *self.activates.front().expect("len >= 4");
-            if oldest + t_faw <= earliest {
-                self.activates.pop_front();
-            } else {
-                break;
+            match self.activates.front() {
+                Some(&oldest) if oldest + t_faw <= earliest => {
+                    self.activates.pop_front();
+                }
+                _ => break,
             }
         }
         let at = if self.activates.len() >= 4 {
-            let oldest = *self.activates.front().expect("len >= 4");
-            self.activates.pop_front();
-            oldest + t_faw
+            match self.activates.pop_front() {
+                Some(oldest) => oldest + t_faw,
+                None => earliest, // unreachable: len >= 4 just checked
+            }
         } else {
             earliest
         };

@@ -35,6 +35,8 @@ pub struct WpqStats {
     pub max_occupancy: usize,
     /// Writes that merged into an already-pending entry.
     pub coalesced: u64,
+    /// Explicit flush barriers (checkpoint epoch boundaries) observed.
+    pub barriers: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +81,7 @@ pub struct WritePendingQueue {
     enqueued: u64,
     coalesced: u64,
     max_occupancy: usize,
+    barriers: u64,
 }
 
 impl WritePendingQueue {
@@ -96,6 +99,7 @@ impl WritePendingQueue {
             enqueued: 0,
             coalesced: 0,
             max_occupancy: 0,
+            barriers: 0,
         }
     }
 
@@ -116,6 +120,7 @@ impl WritePendingQueue {
             full_stalls: self.full_stalls,
             max_occupancy: self.max_occupancy,
             coalesced: self.coalesced,
+            barriers: self.barriers,
         }
     }
 
@@ -148,14 +153,18 @@ impl WritePendingQueue {
         }
         let accepted = if self.entries.len() >= self.capacity {
             self.full_stalls += 1;
-            let (idx, _) = self
+            let idx = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.drained)
-                .expect("queue full");
-            let earliest = self.entries.remove(idx).expect("index valid").drained;
-            earliest.max(now)
+                .map(|(idx, _)| idx);
+            match idx.and_then(|idx| self.entries.remove(idx)) {
+                Some(evicted) => evicted.drained.max(now),
+                // Unreachable while capacity > 0 (enforced in `new`), but
+                // degrade to "no stall" rather than panic.
+                None => now,
+            }
         } else {
             now
         };
@@ -189,6 +198,17 @@ impl WritePendingQueue {
     /// Cycle by which every queued entry has drained (ADR flush horizon).
     pub fn drained_at(&self) -> Cycle {
         self.entries.iter().map(|e| e.drained).max().unwrap_or(0)
+    }
+
+    /// An explicit flush barrier — the checkpoint epoch boundary. Waits
+    /// for every queued entry to drain (functionally they are already
+    /// durable at acceptance; this charges the timing), retires them,
+    /// and counts the barrier. Returns the cycle the flush completes.
+    pub fn barrier(&mut self, now: Cycle) -> Cycle {
+        let horizon = self.drained_at().max(now);
+        self.retire(horizon);
+        self.barriers += 1;
+        horizon
     }
 
     /// Empties the queue (after a crash the ADR flush has already made the
@@ -271,6 +291,21 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = WritePendingQueue::new(0);
+    }
+
+    #[test]
+    fn barrier_retires_everything_and_counts() {
+        let mut dev = fast_device();
+        let mut wpq = WritePendingQueue::new(4);
+        let a = wpq.enqueue(LineAddr::new(0), 0, &mut dev);
+        let b = wpq.enqueue(LineAddr::new(64), 0, &mut dev);
+        let horizon = wpq.barrier(0);
+        assert_eq!(horizon, a.drained.max(b.drained));
+        assert_eq!(wpq.occupancy(horizon), 0);
+        assert_eq!(wpq.stats().barriers, 1);
+        // A barrier on an empty queue completes at `now`.
+        assert_eq!(wpq.barrier(horizon + 5), horizon + 5);
+        assert_eq!(wpq.stats().barriers, 2);
     }
 
     #[test]

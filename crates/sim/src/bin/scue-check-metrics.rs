@@ -17,6 +17,9 @@
 //! the cases and whose `repaired_leaves` covers the `repaired_counter`
 //! outcome count, a violation list consistent with `total_violations`,
 //! and — when present — a positive `provenance.jobs`. For
+//! `scue-crashtest` kill campaigns: the same tally discipline plus
+//! per-scheme `open_errors`/`fallbacks` bounded by the case count and a
+//! `total_fallbacks` cross-check. For
 //! `scue-profile` documents: per-scheme span tables with coherent
 //! stats (`self_ns <= total_ns`), and — on the monotonic clock only,
 //! where durations are real nanoseconds — at least 90% of root wall
@@ -30,8 +33,8 @@
 
 use scue_sim::torture::CaseClass;
 use scue_sim::{
-    METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND,
-    TORTURE_SCHEMA_VERSION,
+    CRASHTEST_DOC_KIND, CRASHTEST_SCHEMA_VERSION, METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND,
+    PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION,
 };
 use scue_util::obs::Json;
 
@@ -218,6 +221,10 @@ fn check_torture(doc: &Json) -> Result<(), String> {
                  repaired_counter outcome count {repaired_cases}"
             ));
         }
+        entry
+            .get("history_dropped")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `history_dropped` is not an integer"))?;
         violation_sum += entry
             .get("oracle_violations")
             .and_then(Json::as_u64)
@@ -244,6 +251,111 @@ fn check_torture(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_str)
             .filter(|r| r.contains("--replay"))
             .ok_or("violation entry without a usable `replay` command")?;
+    }
+    check_provenance(doc)
+}
+
+/// Validates a `scue-crashtest` real-process kill campaign document.
+fn check_crashtest(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != CRASHTEST_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {CRASHTEST_SCHEMA_VERSION}"
+        ));
+    }
+    for key in [
+        "seed",
+        "kills",
+        "epochs",
+        "ops_per_epoch",
+        "total_violations",
+        "total_fallbacks",
+    ] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("`{key}` is not an integer"))?;
+    }
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("`schemes` is not an array")?;
+    if schemes.is_empty() {
+        return Err("`schemes` is empty".to_string());
+    }
+    let mut violation_sum = 0;
+    let mut fallback_sum = 0;
+    for entry in schemes {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("scheme entry without a `scheme` name")?;
+        let cases = entry
+            .get("cases")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `cases` is not an integer"))?;
+        let outcomes = entry
+            .get("outcomes")
+            .ok_or(format!("{name}: missing `outcomes`"))?;
+        let mut sum = 0;
+        for class in CaseClass::ALL {
+            sum += outcomes
+                .get(class.name())
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: outcomes.{} missing", class.name()))?;
+        }
+        if sum != cases {
+            return Err(format!(
+                "{name}: outcome tallies sum to {sum}, expected {cases} cases"
+            ));
+        }
+        // Open errors and slot fallbacks are per-case flags, so neither
+        // count can exceed the case count.
+        for key in ["faults_applied", "open_errors", "fallbacks"] {
+            let n = entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: `{key}` is not an integer"))?;
+            if n > cases {
+                return Err(format!("{name}: {key} {n} exceeds {cases} cases"));
+            }
+        }
+        fallback_sum += entry.get("fallbacks").and_then(Json::as_u64).unwrap_or(0);
+        violation_sum += entry
+            .get("oracle_violations")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `oracle_violations` is not an integer"))?;
+    }
+    let total = doc.get("total_violations").and_then(Json::as_u64).unwrap();
+    if total != violation_sum {
+        return Err(format!(
+            "total_violations {total} != per-scheme sum {violation_sum}"
+        ));
+    }
+    let total_fallbacks = doc.get("total_fallbacks").and_then(Json::as_u64).unwrap();
+    if total_fallbacks != fallback_sum {
+        return Err(format!(
+            "total_fallbacks {total_fallbacks} != per-scheme sum {fallback_sum}"
+        ));
+    }
+    let listed = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("`violations` is not an array")?;
+    if listed.len() as u64 != total {
+        return Err(format!(
+            "violation list has {} entries, total_violations says {total}",
+            listed.len()
+        ));
+    }
+    for v in listed {
+        for key in ["scheme", "fault", "message"] {
+            v.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("violation entry without a `{key}`"))?;
+        }
     }
     check_provenance(doc)
 }
@@ -613,6 +725,8 @@ fn main() {
         (check_chrome(&doc), CHROME_DOC_KIND, PROFILE_SCHEMA_VERSION)
     } else if kind == TORTURE_DOC_KIND {
         (check_torture(&doc), kind, TORTURE_SCHEMA_VERSION)
+    } else if kind == CRASHTEST_DOC_KIND {
+        (check_crashtest(&doc), kind, CRASHTEST_SCHEMA_VERSION)
     } else if kind == PROFILE_DOC_KIND {
         (check_profile(&doc), kind, PROFILE_SCHEMA_VERSION)
     } else if kind == TRAJECTORY_DOC_KIND {
@@ -696,6 +810,7 @@ mod tests {
             .with("faults_applied", Json::U64(repaired_cases))
             .with("outcomes", outcomes)
             .with("repaired_leaves", Json::U64(repaired_leaves))
+            .with("history_dropped", Json::U64(0))
             .with("oracle_violations", Json::U64(0));
         Json::obj()
             .with("schema_version", Json::U64(TORTURE_SCHEMA_VERSION))
@@ -706,6 +821,78 @@ mod tests {
             .with("total_violations", Json::U64(0))
             .with("schemes", Json::Arr(vec![scheme]))
             .with("violations", Json::Arr(vec![]))
+    }
+
+    /// A minimal, internally consistent crashtest doc.
+    fn crashtest_doc() -> Json {
+        let mut outcomes = Json::obj();
+        for class in CaseClass::ALL {
+            outcomes.set(class.name(), Json::U64(0));
+        }
+        outcomes.set(CaseClass::RecoveredIntact.name(), Json::U64(3));
+        let scheme = Json::obj()
+            .with("scheme", Json::Str("SCUE".into()))
+            .with("cases", Json::U64(3))
+            .with("faults_applied", Json::U64(2))
+            .with("open_errors", Json::U64(0))
+            .with("fallbacks", Json::U64(1))
+            .with("outcomes", outcomes)
+            .with("oracle_violations", Json::U64(0));
+        Json::obj()
+            .with("schema_version", Json::U64(CRASHTEST_SCHEMA_VERSION))
+            .with("kind", Json::Str(CRASHTEST_DOC_KIND.into()))
+            .with("seed", Json::U64(1))
+            .with("kills", Json::U64(3))
+            .with("epochs", Json::U64(4))
+            .with("ops_per_epoch", Json::U64(24))
+            .with("schemes", Json::Arr(vec![scheme]))
+            .with("total_violations", Json::U64(0))
+            .with("total_fallbacks", Json::U64(1))
+            .with("violations", Json::Arr(vec![]))
+    }
+
+    #[test]
+    fn crashtest_doc_passes() {
+        check_crashtest(&crashtest_doc()).unwrap();
+    }
+
+    #[test]
+    fn crashtest_fallback_total_must_match_schemes() {
+        let mut doc = crashtest_doc();
+        doc.set("total_fallbacks", Json::U64(7));
+        let err = check_crashtest(&doc).unwrap_err();
+        assert!(err.contains("total_fallbacks"), "{err}");
+    }
+
+    #[test]
+    fn crashtest_per_case_flags_cannot_exceed_cases() {
+        let mut doc = crashtest_doc();
+        let schemes = match doc.get("schemes").cloned() {
+            Some(Json::Arr(mut schemes)) => {
+                schemes[0].set("open_errors", Json::U64(99));
+                Json::Arr(schemes)
+            }
+            other => panic!("schemes missing: {other:?}"),
+        };
+        doc.set("schemes", schemes);
+        // Keep everything else consistent; only the flag overflows.
+        let err = check_crashtest(&doc).unwrap_err();
+        assert!(err.contains("open_errors"), "{err}");
+    }
+
+    #[test]
+    fn torture_docs_must_carry_history_dropped() {
+        let mut doc = campaign_doc();
+        let schemes = match doc.get("schemes").cloned() {
+            Some(Json::Arr(mut schemes)) => {
+                schemes[0].set("history_dropped", Json::Str("lots".into()));
+                Json::Arr(schemes)
+            }
+            other => panic!("schemes missing: {other:?}"),
+        };
+        doc.set("schemes", schemes);
+        let err = check_torture(&doc).unwrap_err();
+        assert!(err.contains("history_dropped"), "{err}");
     }
 
     fn profile_docs() -> (Json, Json) {

@@ -1,0 +1,294 @@
+//! Real-process kill-9 crash campaign runner.
+//!
+//! The parent samples kill epochs per scheme, spawns *this same binary*
+//! with `--child` to persist a seeded op stream into a file-backed NVM
+//! image with CoW checkpoints, SIGKILLs it mid-flight, optionally
+//! damages the image (torn root slot, bit rot, torn page, truncated
+//! tail), reopens it, and holds recover → shadow-audit → resume to the
+//! differential oracle.
+//!
+//! ```text
+//! scue-crashtest [--seed N] [--kills N] [--epochs N] [--ops-per-epoch N]
+//!                [--scheme NAME] [--dir PATH] [--json PATH] [--jobs N]
+//! scue-crashtest --child SCHEME SEED EPOCHS OPS_PER_EPOCH IMAGE   (internal)
+//! ```
+//!
+//! Exits 0 on a clean campaign, 1 on oracle violations, 2 on usage
+//! errors. The child exits 0 after its last checkpoint (it rarely gets
+//! the chance).
+
+use scue::SchemeKind;
+use scue_sim::crashtest::{self, CrashtestConfig};
+use scue_util::obs::Json;
+use scue_util::par;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    cfg: CrashtestConfig,
+    schemes: Vec<SchemeKind>,
+    json_path: Option<String>,
+    jobs: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scue-crashtest [--seed N] [--kills N] [--epochs N] \
+         [--ops-per-epoch N] [--scheme baseline|lazy|eager|plp|bmf|scue] \
+         [--dir PATH] [--json PATH] [--jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args_from(
+    mut it: impl Iterator<Item = String>,
+    env_jobs: Option<&str>,
+) -> Result<Args, String> {
+    let mut cfg = CrashtestConfig::default();
+    let mut schemes = SchemeKind::ALL.to_vec();
+    let mut json_path = None;
+    let mut jobs_flag: Option<usize> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("invalid value for {flag}: `{v}`"))
+        }
+        match flag.as_str() {
+            "--seed" => cfg.seed = parsed("--seed", &value("--seed")?)?,
+            "--kills" => cfg.kills = parsed("--kills", &value("--kills")?)?,
+            "--epochs" => {
+                cfg.epochs = parsed("--epochs", &value("--epochs")?)?;
+                if cfg.epochs == 0 {
+                    return Err("invalid value for --epochs: `0`".to_string());
+                }
+            }
+            "--ops-per-epoch" => {
+                cfg.ops_per_epoch = parsed("--ops-per-epoch", &value("--ops-per-epoch")?)?;
+                if cfg.ops_per_epoch == 0 {
+                    return Err("invalid value for --ops-per-epoch: `0`".to_string());
+                }
+            }
+            "--scheme" => {
+                let v = value("--scheme")?;
+                let scheme = crashtest::parse_scheme(&v)
+                    .ok_or_else(|| format!("invalid value for --scheme: `{v}`"))?;
+                schemes = vec![scheme];
+            }
+            "--dir" => cfg.dir = value("--dir")?.into(),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let jobs: usize = parsed("--jobs", &v)?;
+                if jobs == 0 {
+                    return Err(format!("invalid value for --jobs: `{v}`"));
+                }
+                jobs_flag = Some(jobs);
+            }
+            "--json" => json_path = Some(value("--json")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let jobs = par::resolve_jobs_from(jobs_flag, env_jobs)?;
+    Ok(Args {
+        cfg,
+        schemes,
+        json_path,
+        jobs,
+    })
+}
+
+/// `--child SCHEME SEED EPOCHS OPS_PER_EPOCH IMAGE` — the process the
+/// parent kills. Any setup failure is a nonzero exit the parent treats
+/// as a case failure.
+fn run_child(args: &[String]) -> ExitCode {
+    let parse = || -> Option<(SchemeKind, u64, usize, usize, &String)> {
+        let scheme = crashtest::parse_scheme(args.first()?)?;
+        let seed = args.get(1)?.parse().ok()?;
+        let epochs = args.get(2)?.parse().ok()?;
+        let ops = args.get(3)?.parse().ok()?;
+        Some((scheme, seed, epochs, ops, args.get(4)?))
+    };
+    let Some((scheme, seed, epochs, ops_per_epoch, image)) = parse() else {
+        eprintln!("scue-crashtest: malformed --child arguments: {args:?}");
+        return ExitCode::from(2);
+    };
+    match crashtest::run_child(scheme, seed, epochs, ops_per_epoch, image.as_ref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scue-crashtest child: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--child") {
+        return run_child(&argv[1..]);
+    }
+    let env = std::env::var(par::JOBS_ENV).ok();
+    let args = parse_args_from(argv.into_iter(), env.as_deref()).unwrap_or_else(|msg| {
+        if !msg.is_empty() {
+            eprintln!("scue-crashtest: {msg}");
+        }
+        usage();
+    });
+    // A missing image directory would kill every child at image
+    // creation and read as (bogus) oracle violations — fail it up
+    // front as the operator error it is.
+    if let Err(e) = std::fs::create_dir_all(&args.cfg.dir) {
+        eprintln!(
+            "scue-crashtest: cannot create --dir {}: {e}",
+            args.cfg.dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("scue-crashtest: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let report = crashtest::campaign_with_jobs(&exe, &args.cfg, &args.schemes, args.jobs);
+    let wall_ms = started.elapsed().as_millis() as u64;
+    for tally in &report.tallies {
+        let outcomes: Vec<String> = tally
+            .outcomes
+            .iter()
+            .map(|(class, n)| format!("{}={n}", class.name()))
+            .collect();
+        println!(
+            "{:<10} cases={} faults_applied={} open_errors={} fallbacks={} violations={} [{}]",
+            tally.scheme.to_string(),
+            tally.cases,
+            tally.faults_applied,
+            tally.open_errors,
+            tally.fallbacks,
+            tally.violations,
+            outcomes.join(" "),
+        );
+    }
+    for v in &report.violations {
+        eprintln!(
+            "VIOLATION {} case {} (kill_epoch={}, fault={}): {}",
+            v.scheme,
+            v.index,
+            v.kill_epoch,
+            v.fault.name(),
+            v.message
+        );
+    }
+    println!("campaign wall-clock: {wall_ms} ms at --jobs {}", args.jobs);
+
+    if let Some(path) = &args.json_path {
+        let mut doc = report.to_json();
+        doc.set(
+            "provenance",
+            Json::obj()
+                .with("jobs", Json::U64(args.jobs as u64))
+                .with("wall_ms", Json::U64(wall_ms)),
+        );
+        if let Err(e) = std::fs::write(path, doc.render_doc()) {
+            eprintln!("scue-crashtest: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if report.total_violations() > 0 {
+        eprintln!("{} oracle violation(s)", report.total_violations());
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "oracle clean: {} schemes × {} kills, {} slot fallbacks",
+            report.tallies.len(),
+            args.cfg.kills,
+            report.total_fallbacks()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str], env_jobs: Option<&str>) -> Result<Args, String> {
+        parse_args_from(tokens.iter().map(|s| s.to_string()), env_jobs)
+    }
+
+    #[test]
+    fn defaults_parse_clean() {
+        let args = parse(&[], None).unwrap();
+        assert_eq!(args.schemes, SchemeKind::ALL.to_vec());
+        assert!(args.cfg.kills > 0 && args.cfg.epochs > 0);
+        assert!(args.jobs >= 1);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(
+            &[
+                "--seed",
+                "9",
+                "--kills",
+                "3",
+                "--epochs",
+                "2",
+                "--ops-per-epoch",
+                "10",
+                "--scheme",
+                "scue",
+                "--dir",
+                "/tmp/x",
+                "--jobs",
+                "4",
+                "--json",
+                "out.json",
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(args.cfg.seed, 9);
+        assert_eq!(args.cfg.kills, 3);
+        assert_eq!(args.cfg.epochs, 2);
+        assert_eq!(args.cfg.ops_per_epoch, 10);
+        assert_eq!(args.schemes, vec![SchemeKind::Scue]);
+        assert_eq!(args.cfg.dir, std::path::PathBuf::from("/tmp/x"));
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.json_path.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn zero_epochs_and_ops_are_rejected() {
+        assert!(parse(&["--epochs", "0"], None)
+            .unwrap_err()
+            .contains("--epochs"));
+        assert!(parse(&["--ops-per-epoch", "0"], None)
+            .unwrap_err()
+            .contains("--ops-per-epoch"));
+    }
+
+    #[test]
+    fn bad_values_name_the_flag_and_value() {
+        for (tokens, flag, value) in [
+            (vec!["--seed", "x"], "--seed", "x"),
+            (vec!["--kills", "-1"], "--kills", "-1"),
+            (vec!["--scheme", "mercury"], "--scheme", "mercury"),
+            (vec!["--jobs", "0"], "--jobs", "0"),
+        ] {
+            let err = parse(&tokens, None).unwrap_err();
+            assert!(err.contains(flag), "{err:?} must name {flag}");
+            assert!(
+                err.contains(&format!("`{value}`")),
+                "{err:?} must show `{value}`"
+            );
+        }
+    }
+}

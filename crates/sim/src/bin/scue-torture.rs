@@ -177,6 +177,15 @@ fn main() -> ExitCode {
             outcomes.join(" "),
         );
     }
+    for tally in &report.tallies {
+        if tally.history_dropped > 0 {
+            eprintln!(
+                "warning: {}: store history journal dropped {} pre-images \
+                 (raise the cap if fault fidelity matters)",
+                tally.scheme, tally.history_dropped
+            );
+        }
+    }
     for v in &report.violations {
         eprintln!(
             "VIOLATION {}: {} (shrunk {} steps / {} evals)",

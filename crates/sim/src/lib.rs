@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crashtest;
 pub mod experiment;
 pub mod profile;
 pub mod report;
@@ -34,6 +35,10 @@ pub mod runner;
 pub mod torture;
 
 pub use config::SystemConfig;
+pub use crashtest::{
+    CrashtestConfig, CrashtestReport, DurableFaultKind, CRASHTEST_DOC_KIND,
+    CRASHTEST_SCHEMA_VERSION,
+};
 pub use profile::{ProfileConfig, SchemeProfile, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION};
 pub use report::{ReportConfig, RunReport, METRICS_SCHEMA_VERSION};
 pub use runner::{RunResult, System};

@@ -150,7 +150,7 @@ impl CaseSpec {
     }
 }
 
-fn scheme_token(scheme: SchemeKind) -> &'static str {
+pub(crate) fn scheme_token(scheme: SchemeKind) -> &'static str {
     match scheme {
         SchemeKind::Baseline => "baseline",
         SchemeKind::Lazy => "lazy",
@@ -161,7 +161,7 @@ fn scheme_token(scheme: SchemeKind) -> &'static str {
     }
 }
 
-fn parse_scheme_token(s: &str) -> Option<SchemeKind> {
+pub(crate) fn parse_scheme_token(s: &str) -> Option<SchemeKind> {
     SchemeKind::ALL.into_iter().find(|&k| scheme_token(k) == s)
 }
 
@@ -253,12 +253,18 @@ pub struct CaseResult {
     pub fault_applied: bool,
     /// Leaf blocks Osiris repair fixed during recovery.
     pub repaired_leaves: u64,
+    /// Pre-image journal entries the bounded store history dropped
+    /// (nonzero means torn/dropped-write faults may have degraded to
+    /// no-ops — the campaign surfaces it rather than hiding it).
+    pub history_dropped: u64,
     /// Human-readable detail (first anomaly seen).
     pub detail: String,
 }
 
 /// The `i`-th op of the deterministic stream: `(address, fill byte)`.
-fn op_at(seed: u64, i: usize) -> (LineAddr, u8) {
+/// Shared with the real-process crash campaign ([`crate::crashtest`]),
+/// whose child and parent regenerate the same stream independently.
+pub(crate) fn op_at(seed: u64, i: usize) -> (LineAddr, u8) {
     let mut sm = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let addr = sm.next_u64() % OP_ADDR_SPAN;
     let fill = (sm.next_u64() % 251) as u8 + 1; // never zero: distinguishes "never written"
@@ -337,7 +343,19 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
             .with_counter_repair(true),
     );
     mem.enable_fault_injection();
+    let mut result = run_case_with(&mut mem, scheme, cfg, case);
+    result.history_dropped = mem.store().history_stats().dropped;
+    result
+}
 
+/// The case body, separated so [`run_case`] can read the store's
+/// journal stats after any of the early returns below.
+fn run_case_with(
+    mem: &mut SecureMemory,
+    scheme: SchemeKind,
+    cfg: &TortureConfig,
+    case: CaseSpec,
+) -> CaseResult {
     // Phase 1: the deterministic op stream, cut off at the crash cycle.
     let mut shadow: BTreeMap<u64, u8> = BTreeMap::new();
     let mut now: Cycle = 0;
@@ -354,6 +372,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                     class: CaseClass::ResumeFailure,
                     fault_applied: false,
                     repaired_leaves: 0,
+                    history_dropped: 0,
                     detail: format!("pre-crash persist of {addr} failed: {e}"),
                 };
             }
@@ -363,7 +382,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
     }
 
     // Phase 2: power failure with the planned faults.
-    let plan = fault_plan(&mem, cfg, case, issued);
+    let plan = fault_plan(mem, cfg, case, issued);
     let records = mem.crash_with_faults(case.crash_at, &plan);
     let fault_applied = records.iter().any(|r| r.applied);
 
@@ -384,6 +403,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
             class,
             fault_applied,
             repaired_leaves: report.repaired_leaves,
+            history_dropped: 0,
             detail: format!("recovery: {:?}", report.outcome),
         };
     }
@@ -399,6 +419,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                         class: CaseClass::SilentCorruption,
                         fault_applied,
                         repaired_leaves: report.repaired_leaves,
+                        history_dropped: 0,
                         detail: format!("line {raw}: read wrong bytes without detection"),
                     };
                 }
@@ -408,6 +429,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                     class: CaseClass::DetectedOnRead,
                     fault_applied,
                     repaired_leaves: report.repaired_leaves,
+                    history_dropped: 0,
                     detail: format!("read audit: {e}"),
                 };
             }
@@ -416,6 +438,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                     class: CaseClass::ResumeFailure,
                     fault_applied,
                     repaired_leaves: report.repaired_leaves,
+                    history_dropped: 0,
                     detail: format!("read audit aborted: {e}"),
                 };
             }
@@ -435,6 +458,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                 class: CaseClass::ResumeFailure,
                 fault_applied,
                 repaired_leaves: report.repaired_leaves,
+                history_dropped: 0,
                 detail: "resume write read back wrong".to_string(),
             };
         }
@@ -443,6 +467,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
                 class: CaseClass::ResumeFailure,
                 fault_applied,
                 repaired_leaves: report.repaired_leaves,
+                history_dropped: 0,
                 detail: format!("resume traffic failed: {e}"),
             };
         }
@@ -459,6 +484,7 @@ pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Case
         class,
         fault_applied,
         repaired_leaves: report.repaired_leaves,
+        history_dropped: 0,
         detail: String::new(),
     }
 }
@@ -608,6 +634,9 @@ pub struct SchemeTally {
     pub outcomes: BTreeMap<CaseClass, u64>,
     /// Total leaf counters repaired across all cases.
     pub repaired_leaves: u64,
+    /// Pre-image journal entries dropped by the bounded store history
+    /// across all cases (see [`scue_nvm::HistoryStats`]).
+    pub history_dropped: u64,
     /// Oracle violations among these cases.
     pub violations: u64,
 }
@@ -621,6 +650,7 @@ impl SchemeTally {
             faults_applied: 0,
             outcomes: BTreeMap::new(),
             repaired_leaves: 0,
+            history_dropped: 0,
             violations: 0,
         }
     }
@@ -664,6 +694,7 @@ impl CampaignReport {
                     .with("faults_applied", Json::U64(t.faults_applied))
                     .with("outcomes", outcomes)
                     .with("repaired_leaves", Json::U64(t.repaired_leaves))
+                    .with("history_dropped", Json::U64(t.history_dropped))
                     .with("oracle_violations", Json::U64(t.violations))
             })
             .collect();
@@ -769,6 +800,7 @@ struct CaseOutcome {
     fault_applied: bool,
     class: CaseClass,
     repaired_leaves: u64,
+    history_dropped: u64,
     violation: Option<ViolationReport>,
 }
 
@@ -786,6 +818,7 @@ fn run_cell(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> CaseOutc
         fault_applied: result.fault_applied,
         class: result.class,
         repaired_leaves: result.repaired_leaves,
+        history_dropped: result.history_dropped,
         violation,
     }
 }
@@ -818,6 +851,7 @@ fn merge_outcomes(
         }
         *tally.outcomes.entry(outcome.class).or_insert(0) += 1;
         tally.repaired_leaves += outcome.repaired_leaves;
+        tally.history_dropped += outcome.history_dropped;
         if let Some(violation) = &outcome.violation {
             tally.violations += 1;
             violations.push(violation.clone());
