@@ -1349,7 +1349,9 @@ impl SecureMemory {
         // Eager: in-flight propagation lost. PLP applied its updates
         // synchronously, so nothing is pending for it.
         self.pending_root.clear();
-        let mut records = if plan.tear_in_flight {
+        let mut records = if let Some(prefix) = plan.tear_prefix {
+            self.mc.crash_with_torn_prefix(at, prefix)
+        } else if plan.tear_in_flight {
             self.mc.crash_with_tearing(at)
         } else {
             self.mc.crash();
@@ -1439,6 +1441,38 @@ impl SecureMemory {
             self.crashed = false;
         }
         report
+    }
+
+    /// Evaluates the recovery invariant against the current NVM image
+    /// and trust base **without mutating anything** — no tree install,
+    /// no Osiris repair, no root synchronisation, no spans or trace
+    /// events. Deterministic and callable before or after a crash; the
+    /// crash model checker's replay bridge uses it to compare the
+    /// abstract verdict of a counterexample against the real image (see
+    /// [`recovery::probe`](crate::recovery)).
+    pub fn probe_consistency(&self) -> crate::recovery::ConsistencyProbe {
+        crate::recovery::probe(self)
+    }
+
+    // Read-only accessors for the consistency probe.
+    pub(crate) fn parts_for_probe(
+        &self,
+    ) -> (
+        &SitContext,
+        &MemoryController,
+        &MacSideband,
+        &RootRegister,
+        &RootRegister,
+        &HashMap<u64, u64>,
+    ) {
+        (
+            &self.ctx,
+            &self.mc,
+            &self.sideband,
+            &self.running_root,
+            &self.recovery_root,
+            &self.nvmc,
+        )
     }
 
     // Internal accessors for the recovery/attack modules.

@@ -63,5 +63,5 @@ pub mod stats;
 pub use config::{SchemeKind, SecureMemConfig};
 pub use durable::{CheckpointError, CheckpointReport, DurableMeta, DurableOpenError, MetaError};
 pub use engine::{CrashError, IntegrityError, SecureMemory};
-pub use recovery::{RecoveryOutcome, RecoveryPhases, RecoveryReport};
+pub use recovery::{ConsistencyProbe, RecoveryOutcome, RecoveryPhases, RecoveryReport};
 pub use stats::{EngineStats, LatencyStats};

@@ -148,6 +148,146 @@ impl RecoveryReport {
     }
 }
 
+/// A read-only evaluation of the recovery invariant: would counter-
+/// summing reconstruction of the *current* NVM image match the scheme's
+/// trust base?
+///
+/// Unlike [`SecureMemory::recover`], the probe mutates nothing — no
+/// tree install, no Osiris repair, no root synchronisation — and never
+/// early-returns, so it reports *all* leaf verification failures, not
+/// just the first. It is the deterministic ground truth the crash model
+/// checker's replay bridge compares abstract verdicts against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyProbe {
+    /// The scheme probed.
+    pub scheme: SchemeKind,
+    /// Whether the scheme verifies anything at all (false for Baseline,
+    /// whose probe trivially holds).
+    pub verified: bool,
+    /// Leaf counter blocks examined.
+    pub leaves_seen: u64,
+    /// Leaves whose stored MAC does not verify against the image
+    /// (counter-summing schemes) or whose nvMC register mismatches
+    /// (BMF) — torn or rolled-back leaf state.
+    pub leaf_mac_failures: u64,
+    /// Total of the reconstructed root counters (0 for BMF/Baseline,
+    /// which have no summed root).
+    pub rebuilt_sum: u64,
+    /// Total of the trusted root counters (`Recovery_root` for SCUE,
+    /// the running root otherwise; 0 for BMF/Baseline).
+    pub trusted_sum: u64,
+    /// Whether the reconstructed root equals the trust base slot by
+    /// slot (trivially true for BMF/Baseline).
+    pub root_consistent: bool,
+}
+
+impl ConsistencyProbe {
+    /// Whether the recovery invariant holds on the probed image: every
+    /// verifying scheme must have no leaf failures and a consistent
+    /// root. Baseline verifies nothing, so its probe always holds.
+    pub fn holds(&self) -> bool {
+        !self.verified || (self.leaf_mac_failures == 0 && self.root_consistent)
+    }
+}
+
+/// Runs the read-only invariant probe. Called via
+/// [`SecureMemory::probe_consistency`].
+pub(crate) fn probe(mem: &SecureMemory) -> ConsistencyProbe {
+    let scheme = mem.scheme();
+    let (ctx, mc, sideband, running_root, recovery_root, nvmc) = mem.parts_for_probe();
+    let geom = ctx.geometry().clone();
+    let mut out = ConsistencyProbe {
+        scheme,
+        verified: scheme.is_secure(),
+        leaves_seen: 0,
+        leaf_mac_failures: 0,
+        rebuilt_sum: 0,
+        trusted_sum: 0,
+        root_consistent: true,
+    };
+    if scheme == SchemeKind::Baseline {
+        return out;
+    }
+
+    if scheme == SchemeKind::BmfIdeal {
+        // Flat per-leaf check against the nvMC registers, mirroring
+        // `recover_bmf` without the early return.
+        let key = *ctx.key();
+        let mut indices: Vec<u64> = nvmc.keys().copied().collect();
+        for (addr, _) in mc.store().iter() {
+            if let Some(node) = geom.node_at_addr(addr) {
+                if node.level == 0 {
+                    indices.push(node.index);
+                }
+            }
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        for index in indices {
+            out.leaves_seen += 1;
+            let addr = geom.node_addr(NodeId::new(0, index));
+            let line = mc.store().read_line(addr);
+            let expected = nvmc.get(&index).copied().unwrap_or(0);
+            let actual = if expected == 0 && line == [0u8; 64] {
+                0
+            } else {
+                scue_crypto::hmac::bmt_child_hmac(&key, addr.raw(), &line)
+            };
+            if actual != expected {
+                out.leaf_mac_failures += 1;
+            }
+        }
+        return out;
+    }
+
+    // Counter-summing schemes: the Fig. 8 reconstruction, read-only.
+    let mut touched: Vec<LineAddr> = mc.store().iter().map(|(a, _)| a).collect();
+    touched.sort_unstable_by_key(|a| a.raw());
+    let mut leaves: BTreeMap<u64, scue_crypto::cme::CounterBlock> = BTreeMap::new();
+    for addr in touched {
+        if let Some(node) = geom.node_at_addr(addr) {
+            if node.level == 0 {
+                leaves.insert(
+                    node.index,
+                    scue_crypto::cme::CounterBlock::from_line(&mc.store().read_line(addr)),
+                );
+            }
+        }
+    }
+    out.leaves_seen = leaves.len() as u64;
+    for (&index, block) in &leaves {
+        let leaf = NodeId::new(0, index);
+        let dummy = ctx.leaf_dummy(block);
+        let mac = sideband.get(geom.node_addr(leaf));
+        if !ctx.verify_leaf(leaf, block, mac, dummy) {
+            out.leaf_mac_failures += 1;
+        }
+    }
+    let mut current: BTreeMap<u64, u64> = leaves
+        .iter()
+        .map(|(&i, b)| (i, ctx.leaf_dummy(b)))
+        .collect();
+    for _level in 1..geom.stored_levels() {
+        let mut next: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&child_idx, &dummy) in &current {
+            *next.entry(child_idx / 8).or_insert(0) += dummy;
+        }
+        current = next;
+    }
+    let mut rebuilt_root = RootRegister::new();
+    for (&idx, &dummy) in &current {
+        rebuilt_root.add((idx % 8) as usize, dummy);
+    }
+    let trusted: &RootRegister = match scheme {
+        SchemeKind::Scue => recovery_root,
+        _ => running_root,
+    };
+    out.rebuilt_sum = rebuilt_root.counters().iter().sum();
+    out.trusted_sum = trusted.counters().iter().sum();
+    out.root_consistent = rebuilt_root == *trusted;
+    out
+}
+
 /// Runs recovery on a crashed machine. Called via
 /// [`SecureMemory::recover`].
 pub(crate) fn run(mem: &mut SecureMemory) -> RecoveryReport {
@@ -328,6 +468,59 @@ mod tests {
                 .unwrap();
         }
         now
+    }
+
+    #[test]
+    fn probe_holds_for_rcc_schemes_and_flags_window_schemes() {
+        for scheme in [SchemeKind::Scue, SchemeKind::Plp, SchemeKind::BmfIdeal] {
+            let mut m = SecureMemory::new(SecureMemConfig::small_test(scheme));
+            let now = run_writes(&mut m, 20);
+            m.crash(now);
+            let p = m.probe_consistency();
+            assert!(p.holds(), "{scheme:?} probe should hold: {p:?}");
+            assert!(p.verified);
+            assert!(p.leaves_seen > 0);
+        }
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Lazy));
+        let now = run_writes(&mut m, 20);
+        m.crash(now);
+        let p = m.probe_consistency();
+        assert!(!p.holds(), "lazy root is stale after a crash");
+        assert!(!p.root_consistent);
+        assert_eq!(p.leaf_mac_failures, 0, "leaves themselves are intact");
+        assert!(p.rebuilt_sum > p.trusted_sum);
+    }
+
+    #[test]
+    fn probe_flags_eager_window_and_clears_after_settle() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Eager));
+        let done = m.persist_data(LineAddr::new(0), [1u8; 64], 0).unwrap();
+        m.crash(0); // pending propagation lost
+        assert!(!m.probe_consistency().holds());
+
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Eager));
+        m.persist_data(LineAddr::new(0), [1u8; 64], 0).unwrap();
+        m.crash(done + 100_000); // settled
+        assert!(m.probe_consistency().holds());
+    }
+
+    #[test]
+    fn probe_is_read_only_and_baseline_trivially_holds() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let now = run_writes(&mut m, 15);
+        m.crash(now);
+        let first = m.probe_consistency();
+        let second = m.probe_consistency();
+        assert_eq!(first, second, "probe must not mutate the image");
+        // Real recovery still works after probing.
+        assert_eq!(m.recover().outcome, RecoveryOutcome::Clean);
+
+        let mut b = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Baseline));
+        let now = run_writes(&mut b, 5);
+        b.crash(now);
+        let p = b.probe_consistency();
+        assert!(!p.verified);
+        assert!(p.holds());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::addr::{Cycle, LineAddr};
 use crate::backend::IoError;
-use crate::fault::{self, FaultRecord, NvmFault, WORDS_PER_LINE};
+use crate::fault::{self, FaultRecord, NvmFault, TornPrefix, WORDS_PER_LINE};
 use crate::store::{Line, NvmStore};
 use crate::timing::{PcmDevice, PcmTiming};
 use crate::wpq::{Enqueued, InFlight, WpqStats, WritePendingQueue};
@@ -228,6 +228,39 @@ impl MemoryController {
         records
     }
 
+    /// Models a power failure whose ADR flush stopped at an exact
+    /// abstract drain prefix of the **metadata** WPQ: the first
+    /// `prefix.fully_drained` in-flight entries (FIFO order) commit
+    /// whole, the next commits only its first `prefix.words_new` 8-byte
+    /// words, and every entry behind it commits nothing. User-data
+    /// entries drain whole (the prefix describes metadata durability
+    /// only — the model checker's abstraction).
+    ///
+    /// Requires the store's history journal, like
+    /// [`MemoryController::crash_with_tearing`]. Returns one
+    /// [`FaultRecord`] per entry that did not commit whole.
+    pub fn crash_with_torn_prefix(&mut self, at: Cycle, prefix: TornPrefix) -> Vec<FaultRecord> {
+        let mut records = Vec::new();
+        for (pos, entry) in self.meta_wpq.in_flight_at(at).iter().enumerate() {
+            let words_new = match pos.cmp(&prefix.fully_drained) {
+                std::cmp::Ordering::Less => WORDS_PER_LINE,
+                std::cmp::Ordering::Equal => prefix.words_new.min(WORDS_PER_LINE),
+                std::cmp::Ordering::Greater => 0,
+            };
+            if words_new < WORDS_PER_LINE {
+                records.push(fault::apply(
+                    &mut self.store,
+                    NvmFault::TornWrite {
+                        addr: entry.addr,
+                        words_new,
+                    },
+                ));
+            }
+        }
+        self.crash();
+        records
+    }
+
     /// Applies one explicit media fault to the post-crash image.
     pub fn inject_fault(&mut self, fault: NvmFault) -> FaultRecord {
         fault::apply(&mut self.store, fault)
@@ -370,6 +403,70 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert!(records[0].applied);
         assert_eq!(mc.peek(a), [1; 64], "write fully reverted");
+    }
+
+    /// Two metadata lines with drained old content plus one in-flight
+    /// rewrite each — the shape the model checker's lowering produces.
+    fn two_inflight_meta_rewrites() -> (MemoryController, Cycle) {
+        let mut mc = MemoryController::for_tests();
+        mc.store_mut().track_history(true);
+        mc.write(LineAddr::new(10), [0xFF; 64], 0, AccessKind::Metadata);
+        mc.write(LineAddr::new(11), [0xFF; 64], 0, AccessKind::Metadata);
+        let horizon = mc.drained_at();
+        mc.write(LineAddr::new(10), [1; 64], horizon, AccessKind::Metadata);
+        mc.write(LineAddr::new(11), [2; 64], horizon, AccessKind::Metadata);
+        (mc, horizon)
+    }
+
+    #[test]
+    fn torn_prefix_splits_the_metadata_queue_by_position() {
+        let (mut mc, horizon) = two_inflight_meta_rewrites();
+        let records = mc.crash_with_torn_prefix(
+            horizon,
+            TornPrefix {
+                fully_drained: 1,
+                words_new: 2,
+            },
+        );
+        assert_eq!(mc.peek(LineAddr::new(10)), [1; 64], "position 0 whole");
+        let second = mc.peek(LineAddr::new(11));
+        assert_eq!(&second[..16], &[2; 16], "two new words landed");
+        assert_eq!(&second[16..], &[0xFF; 48], "suffix stayed old");
+        assert_eq!(records.len(), 1, "only the torn entry is recorded");
+        assert!(records[0].applied);
+        assert_eq!(mc.wpq_occupancy(horizon), (0, 0), "queues cleared");
+    }
+
+    #[test]
+    fn torn_prefix_drops_entries_behind_the_tear() {
+        let (mut mc, horizon) = two_inflight_meta_rewrites();
+        let records = mc.crash_with_torn_prefix(
+            horizon,
+            TornPrefix {
+                fully_drained: 0,
+                words_new: 0,
+            },
+        );
+        assert_eq!(mc.peek(LineAddr::new(10)), [0xFF; 64], "write reverted");
+        assert_eq!(mc.peek(LineAddr::new(11)), [0xFF; 64], "write reverted");
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.applied));
+    }
+
+    #[test]
+    fn torn_prefix_spares_user_data_entries() {
+        let mut mc = MemoryController::for_tests();
+        mc.store_mut().track_history(true);
+        mc.write(LineAddr::new(30), [7; 64], 0, AccessKind::UserData);
+        let records = mc.crash_with_torn_prefix(
+            0,
+            TornPrefix {
+                fully_drained: 0,
+                words_new: 0,
+            },
+        );
+        assert!(records.is_empty(), "user queue is outside the prefix");
+        assert_eq!(mc.peek(LineAddr::new(30)), [7; 64], "ADR drained it whole");
     }
 
     #[test]

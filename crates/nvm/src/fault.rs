@@ -83,15 +83,38 @@ impl NvmFault {
     }
 }
 
+/// Abstract description of how far the ADR flush got before power died,
+/// phrased in queue positions rather than cycles: the first
+/// `fully_drained` metadata-WPQ entries (FIFO order) committed whole,
+/// the next entry committed only its first `words_new` 8-byte words,
+/// and every entry behind it committed nothing.
+///
+/// This is the shape the crash model checker emits — its abstract
+/// tearing nondeterminism enumerates exactly these prefixes — and
+/// [`FaultPlan::tearing_prefix`] lowers it onto the concrete controller
+/// so an abstract torn-write case replays against the real engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornPrefix {
+    /// In-flight metadata entries (FIFO order) that committed whole.
+    pub fully_drained: usize,
+    /// Leading 8-byte words of the next entry that reached media (0..=8).
+    pub words_new: usize,
+}
+
 /// What to break when a crash is injected.
 ///
 /// `tear_in_flight` asks the controller to tear every WPQ entry still
-/// draining at the crash cycle (modelling an ADR failure); `faults` are
-/// explicit media faults applied after the crash settles.
+/// draining at the crash cycle (modelling an ADR failure); `tear_prefix`
+/// pins the tearing to an exact drain prefix instead (the model
+/// checker's lowering — it wins over `tear_in_flight` when both are
+/// set); `faults` are explicit media faults applied after the crash
+/// settles.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Tear WPQ entries still draining at the crash cycle.
     pub tear_in_flight: bool,
+    /// Tear the metadata WPQ at an exact abstract drain prefix.
+    pub tear_prefix: Option<TornPrefix>,
     /// Explicit media faults applied to the post-crash image, in order.
     pub faults: Vec<NvmFault>,
 }
@@ -106,7 +129,17 @@ impl FaultPlan {
     pub fn tearing() -> Self {
         Self {
             tear_in_flight: true,
-            faults: Vec::new(),
+            ..Self::default()
+        }
+    }
+
+    /// A crash whose ADR flush stopped at the given abstract drain
+    /// prefix of the metadata WPQ (the model checker's torn-write
+    /// lowering).
+    pub fn tearing_prefix(prefix: TornPrefix) -> Self {
+        Self {
+            tear_prefix: Some(prefix),
+            ..Self::default()
         }
     }
 

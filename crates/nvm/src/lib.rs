@@ -50,7 +50,7 @@ pub use backend::{Backend, IoError, MemBackend, OpenError};
 pub use checkpoint::FileBackend;
 pub use controller::{AccessKind, MemStats, MemoryController};
 pub use fault::{
-    apply_durable, DurableFault, DurableFaultRecord, FaultPlan, FaultRecord, NvmFault,
+    apply_durable, DurableFault, DurableFaultRecord, FaultPlan, FaultRecord, NvmFault, TornPrefix,
     PERSIST_ATOM_BYTES, WORDS_PER_LINE,
 };
 pub use store::{HistoryStats, NvmStore, DEFAULT_HISTORY_CAP};

@@ -19,7 +19,10 @@
 //! and — when present — a positive `provenance.jobs`. For
 //! `scue-crashtest` kill campaigns: the same tally discipline plus
 //! per-scheme `open_errors`/`fallbacks` bounded by the case count and a
-//! `total_fallbacks` cross-check. For
+//! `total_fallbacks` cross-check. For `scue-mc` model-checker
+//! documents: per-scheme verdict tallies partitioning the crash cases,
+//! witness lists consistent with the witness cap, and truncation
+//! counters that agree with every `exhaustive` claim. For
 //! `scue-profile` documents: per-scheme span tables with coherent
 //! stats (`self_ns <= total_ns`), and — on the monotonic clock only,
 //! where durations are real nanoseconds — at least 90% of root wall
@@ -31,10 +34,12 @@
 //! 30%, allocations per op may grow at most 10% + 8, primitive medians
 //! at most 35% + 20 ns. Prints the first violation and exits 1.
 
+use scue_sim::mc::{Verdict, WITNESS_CAP};
 use scue_sim::torture::CaseClass;
 use scue_sim::{
-    CRASHTEST_DOC_KIND, CRASHTEST_SCHEMA_VERSION, METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND,
-    PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION,
+    CRASHTEST_DOC_KIND, CRASHTEST_SCHEMA_VERSION, MC_DOC_KIND, MC_SCHEMA_VERSION,
+    METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND,
+    TORTURE_SCHEMA_VERSION,
 };
 use scue_util::obs::Json;
 
@@ -356,6 +361,169 @@ fn check_crashtest(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_str)
                 .ok_or(format!("violation entry without a `{key}`"))?;
         }
+    }
+    check_provenance(doc)
+}
+
+/// Validates a `scue-mc` model-checker document.
+fn check_mc(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != MC_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {MC_SCHEMA_VERSION}"
+        ));
+    }
+    for key in [
+        "blocks",
+        "ops",
+        "max_states",
+        "max_depth",
+        "seed",
+        "total_witnesses",
+        "rcc_witnesses",
+        "failed_reproductions",
+    ] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("`{key}` is not an integer"))?;
+    }
+    for key in ["replay", "exhaustive"] {
+        match doc.get(key) {
+            Some(Json::Bool(_)) => {}
+            _ => return Err(format!("`{key}` is not a boolean")),
+        }
+    }
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("`schemes` is not an array")?;
+    if schemes.is_empty() {
+        return Err("`schemes` is empty".to_string());
+    }
+    let mut witness_sum = 0;
+    let mut all_exhaustive = true;
+    for entry in schemes {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("scheme entry without a `scheme` name")?;
+        let int = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: `{key}` is not an integer"))
+        };
+        let states = int("states")?;
+        if states == 0 {
+            return Err(format!("{name}: a search explores at least one state"));
+        }
+        let cases = int("crash_cases")?;
+        int("deepest")?;
+        let (truncated_states, truncated_depth) =
+            (int("truncated_states")?, int("truncated_depth")?);
+        let exhaustive = match entry.get("exhaustive") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("{name}: `exhaustive` is not a boolean")),
+        };
+        // The exhaustive flag is a *claim*; the truncation counters are
+        // the evidence. They must agree.
+        if exhaustive != (truncated_states == 0 && truncated_depth == 0) {
+            return Err(format!(
+                "{name}: exhaustive={exhaustive} contradicts truncation counters \
+                 (states dropped: {truncated_states}, depth cuts: {truncated_depth})"
+            ));
+        }
+        all_exhaustive &= exhaustive;
+        let verdicts = entry
+            .get("verdicts")
+            .ok_or(format!("{name}: missing `verdicts`"))?;
+        let mut sum = 0;
+        for v in Verdict::ALL {
+            sum += verdicts
+                .get(v.name())
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: verdicts.{} missing", v.name()))?;
+        }
+        if sum != cases {
+            return Err(format!(
+                "{name}: verdict tallies sum to {sum}, expected {cases} crash cases"
+            ));
+        }
+        let witnesses = int("witnesses")?;
+        witness_sum += witnesses;
+        let inconsistent = verdicts
+            .get("inconsistent")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if witnesses != inconsistent {
+            return Err(format!(
+                "{name}: `witnesses` {witnesses} != inconsistent verdict count {inconsistent}"
+            ));
+        }
+        let list = entry
+            .get("witness_list")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{name}: `witness_list` is not an array"))?;
+        if list.len() as u64 > WITNESS_CAP as u64 {
+            return Err(format!(
+                "{name}: witness list has {} entries, cap is {WITNESS_CAP}",
+                list.len()
+            ));
+        }
+        let expected = witnesses.min(WITNESS_CAP as u64);
+        if list.len() as u64 != expected {
+            return Err(format!(
+                "{name}: witness list has {} entries, expected {expected} \
+                 ({witnesses} witnesses, cap {WITNESS_CAP})",
+                list.len()
+            ));
+        }
+        for w in list {
+            let actions = w
+                .get("actions")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{name}: witness without an `actions` array"))?;
+            if actions.is_empty() {
+                return Err(format!("{name}: witness with an empty action trace"));
+            }
+            for a in actions {
+                a.as_str()
+                    .ok_or(format!("{name}: witness action is not a string"))?;
+            }
+            w.get("crash")
+                .and_then(Json::as_str)
+                .ok_or(format!("{name}: witness without a `crash` mode"))?;
+            w.get("issues")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{name}: witness `issues` is not an integer"))?;
+            // `replay`/`reproduced` are either both null (replay off or
+            // not lowerable) or a spec string with a verdict.
+            match (w.get("replay"), w.get("reproduced")) {
+                (Some(Json::Null), Some(Json::Null)) => {}
+                (Some(Json::Str(_)), Some(Json::Bool(_))) => {}
+                _ => {
+                    return Err(format!(
+                        "{name}: witness `replay`/`reproduced` must be both \
+                         null or a spec string with a boolean"
+                    ));
+                }
+            }
+        }
+    }
+    let total = doc.get("total_witnesses").and_then(Json::as_u64).unwrap();
+    if total != witness_sum {
+        return Err(format!(
+            "total_witnesses {total} != per-scheme sum {witness_sum}"
+        ));
+    }
+    let exhaustive = matches!(doc.get("exhaustive"), Some(Json::Bool(true)));
+    if exhaustive != all_exhaustive {
+        return Err(format!(
+            "top-level exhaustive={exhaustive} contradicts per-scheme flags"
+        ));
     }
     check_provenance(doc)
 }
@@ -727,6 +895,8 @@ fn main() {
         (check_torture(&doc), kind, TORTURE_SCHEMA_VERSION)
     } else if kind == CRASHTEST_DOC_KIND {
         (check_crashtest(&doc), kind, CRASHTEST_SCHEMA_VERSION)
+    } else if kind == MC_DOC_KIND {
+        (check_mc(&doc), kind, MC_SCHEMA_VERSION)
     } else if kind == PROFILE_DOC_KIND {
         (check_profile(&doc), kind, PROFILE_SCHEMA_VERSION)
     } else if kind == TRAJECTORY_DOC_KIND {
@@ -760,6 +930,7 @@ mod tests {
             ops: 60,
             eadr: false,
             strict_baseline: false,
+            strict_windows: false,
         };
         torture::campaign(&cfg, 7, &[SchemeKind::Scue, SchemeKind::Baseline]).to_json()
     }
@@ -1023,6 +1194,96 @@ mod tests {
         alien.set("engine", Json::Arr(vec![]));
         alien.set("primitives", Json::Arr(vec![]));
         assert!(compare_trajectory(&old, &alien).is_err());
+    }
+
+    fn mc_doc() -> Json {
+        use scue_sim::mc::{self, McConfig};
+        // Replay off keeps the test fast; the null replay/reproduced
+        // pairing is part of what check_mc validates.
+        let cfg = McConfig {
+            replay: false,
+            ..McConfig::default()
+        };
+        mc::run(&cfg, &[SchemeKind::Scue, SchemeKind::Lazy]).to_json()
+    }
+
+    #[test]
+    fn live_mc_docs_pass() {
+        let mut doc = mc_doc();
+        check_mc(&doc).unwrap();
+        doc.set(
+            "provenance",
+            Json::obj()
+                .with("jobs", Json::U64(4))
+                .with("wall_ms", Json::U64(9)),
+        );
+        check_mc(&doc).unwrap();
+        // A replayed doc (spec string + boolean) also passes.
+        let replayed =
+            scue_sim::mc::run(&scue_sim::mc::McConfig::default(), &[SchemeKind::Lazy]).to_json();
+        check_mc(&replayed).unwrap();
+    }
+
+    #[test]
+    fn mc_verdicts_must_partition_crash_cases() {
+        let doc = mc_doc();
+        let rendered = doc
+            .render_doc()
+            .replace("\"unverified\":0", "\"unverified\":1");
+        let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("verdict tallies"), "{err}");
+    }
+
+    #[test]
+    fn mc_exhaustive_claim_must_match_truncation_counters() {
+        let doc = mc_doc();
+        // Claim truncation without clearing the exhaustive flags.
+        let rendered = doc
+            .render_doc()
+            .replace("\"truncated_states\":0", "\"truncated_states\":5");
+        let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("contradicts truncation counters"), "{err}");
+    }
+
+    #[test]
+    fn mc_witness_totals_must_be_consistent() {
+        let mut doc = mc_doc();
+        doc.set("total_witnesses", Json::U64(999));
+        let err = check_mc(&doc).unwrap_err();
+        assert!(err.contains("total_witnesses"), "{err}");
+
+        // Witness count must equal the inconsistent verdict tally.
+        let doc = mc_doc();
+        let schemes = match doc.get("schemes").cloned() {
+            Some(Json::Arr(schemes)) => schemes,
+            other => panic!("schemes missing: {other:?}"),
+        };
+        let lazy_witnesses = schemes[1].get("witnesses").and_then(Json::as_u64).unwrap();
+        assert!(lazy_witnesses > 0, "lazy must produce witnesses");
+        let rendered = doc.render_doc().replace(
+            &format!("\"witnesses\":{lazy_witnesses}"),
+            &format!("\"witnesses\":{}", lazy_witnesses + 1),
+        );
+        let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("inconsistent verdict count"), "{err}");
+    }
+
+    #[test]
+    fn mc_witness_entries_must_be_well_formed() {
+        let doc = mc_doc();
+        // A replay spec without a reproduction verdict is malformed.
+        let rendered = doc.render_doc().replace(
+            "\"replay\":null,\"reproduced\":null",
+            "\"replay\":\"lazy:1:1:none\",\"reproduced\":null",
+        );
+        let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("replay"), "{err}");
+        // An empty action trace cannot witness anything.
+        let rendered = mc_doc()
+            .render_doc()
+            .replace("\"actions\":[\"issue:0\"]", "\"actions\":[]");
+        let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("empty action trace"), "{err}");
     }
 
     #[test]

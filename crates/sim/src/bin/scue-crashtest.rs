@@ -60,15 +60,17 @@ fn parse_args_from(
             "--seed" => cfg.seed = parsed("--seed", &value("--seed")?)?,
             "--kills" => cfg.kills = parsed("--kills", &value("--kills")?)?,
             "--epochs" => {
-                cfg.epochs = parsed("--epochs", &value("--epochs")?)?;
+                let v = value("--epochs")?;
+                cfg.epochs = parsed("--epochs", &v)?;
                 if cfg.epochs == 0 {
-                    return Err("invalid value for --epochs: `0`".to_string());
+                    return Err(format!("invalid value for --epochs: `{v}`"));
                 }
             }
             "--ops-per-epoch" => {
-                cfg.ops_per_epoch = parsed("--ops-per-epoch", &value("--ops-per-epoch")?)?;
+                let v = value("--ops-per-epoch")?;
+                cfg.ops_per_epoch = parsed("--ops-per-epoch", &v)?;
                 if cfg.ops_per_epoch == 0 {
-                    return Err("invalid value for --ops-per-epoch: `0`".to_string());
+                    return Err(format!("invalid value for --ops-per-epoch: `{v}`"));
                 }
             }
             "--scheme" => {
@@ -100,20 +102,36 @@ fn parse_args_from(
     })
 }
 
+/// Parses `--child SCHEME SEED EPOCHS OPS_PER_EPOCH IMAGE` operands,
+/// naming the offending positional argument and value on any error.
+fn parse_child_args(args: &[String]) -> Result<(SchemeKind, u64, usize, usize, &String), String> {
+    let arg = |i: usize, name: &str| {
+        args.get(i)
+            .ok_or_else(|| format!("--child missing {name} (argument {})", i + 1))
+    };
+    fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("invalid --child {name}: `{v}`"))
+    }
+    let scheme_token = arg(0, "SCHEME")?;
+    let scheme = crashtest::parse_scheme(scheme_token)
+        .ok_or_else(|| format!("invalid --child SCHEME: `{scheme_token}`"))?;
+    let seed = num("SEED", arg(1, "SEED")?)?;
+    let epochs = num("EPOCHS", arg(2, "EPOCHS")?)?;
+    let ops = num("OPS_PER_EPOCH", arg(3, "OPS_PER_EPOCH")?)?;
+    Ok((scheme, seed, epochs, ops, arg(4, "IMAGE")?))
+}
+
 /// `--child SCHEME SEED EPOCHS OPS_PER_EPOCH IMAGE` — the process the
 /// parent kills. Any setup failure is a nonzero exit the parent treats
 /// as a case failure.
 fn run_child(args: &[String]) -> ExitCode {
-    let parse = || -> Option<(SchemeKind, u64, usize, usize, &String)> {
-        let scheme = crashtest::parse_scheme(args.first()?)?;
-        let seed = args.get(1)?.parse().ok()?;
-        let epochs = args.get(2)?.parse().ok()?;
-        let ops = args.get(3)?.parse().ok()?;
-        Some((scheme, seed, epochs, ops, args.get(4)?))
-    };
-    let Some((scheme, seed, epochs, ops_per_epoch, image)) = parse() else {
-        eprintln!("scue-crashtest: malformed --child arguments: {args:?}");
-        return ExitCode::from(2);
+    let (scheme, seed, epochs, ops_per_epoch, image) = match parse_child_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("scue-crashtest: {msg}");
+            return ExitCode::from(2);
+        }
     };
     match crashtest::run_child(scheme, seed, epochs, ops_per_epoch, image.as_ref()) {
         Ok(()) => ExitCode::SUCCESS,
@@ -266,13 +284,22 @@ mod tests {
     }
 
     #[test]
-    fn zero_epochs_and_ops_are_rejected() {
-        assert!(parse(&["--epochs", "0"], None)
-            .unwrap_err()
-            .contains("--epochs"));
-        assert!(parse(&["--ops-per-epoch", "0"], None)
-            .unwrap_err()
-            .contains("--ops-per-epoch"));
+    fn zero_epochs_and_ops_echo_the_offending_token() {
+        // `00` parses to zero; the error must echo the token as typed,
+        // not a canonicalised `0`.
+        for (tokens, flag, value) in [
+            (vec!["--epochs", "0"], "--epochs", "0"),
+            (vec!["--epochs", "00"], "--epochs", "00"),
+            (vec!["--ops-per-epoch", "0"], "--ops-per-epoch", "0"),
+            (vec!["--ops-per-epoch", "000"], "--ops-per-epoch", "000"),
+        ] {
+            let err = parse(&tokens, None).unwrap_err();
+            assert!(err.contains(flag), "{err:?} must name {flag}");
+            assert!(
+                err.contains(&format!("`{value}`")),
+                "{err:?} must show `{value}`"
+            );
+        }
     }
 
     #[test]
@@ -280,6 +307,8 @@ mod tests {
         for (tokens, flag, value) in [
             (vec!["--seed", "x"], "--seed", "x"),
             (vec!["--kills", "-1"], "--kills", "-1"),
+            (vec!["--epochs", "many"], "--epochs", "many"),
+            (vec!["--ops-per-epoch", "-3"], "--ops-per-epoch", "-3"),
             (vec!["--scheme", "mercury"], "--scheme", "mercury"),
             (vec!["--jobs", "0"], "--jobs", "0"),
         ] {
@@ -289,6 +318,56 @@ mod tests {
                 err.contains(&format!("`{value}`")),
                 "{err:?} must show `{value}`"
             );
+        }
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_errors() {
+        for flag in [
+            "--seed",
+            "--kills",
+            "--epochs",
+            "--ops-per-epoch",
+            "--dir",
+            "--json",
+        ] {
+            let err = parse(&[flag], None).unwrap_err();
+            assert!(err.contains(flag), "{err:?}");
+            assert!(err.contains("requires a value"), "{err:?}");
+        }
+        let err = parse(&["--frobnicate"], None).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err:?}");
+        assert!(err.contains("unknown flag"), "{err:?}");
+    }
+
+    #[test]
+    fn env_jobs_applies_and_flag_wins() {
+        assert_eq!(parse(&[], Some("6")).unwrap().jobs, 6);
+        assert_eq!(parse(&["--jobs", "2"], Some("6")).unwrap().jobs, 2);
+        for bad in ["0", "lots", ""] {
+            let err = parse(&[], Some(bad)).unwrap_err();
+            assert!(err.contains("SCUE_JOBS"), "{err:?}");
+            assert!(err.contains(&format!("`{bad}`")), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn child_args_errors_name_the_offending_argument() {
+        let strs =
+            |tokens: &[&str]| -> Vec<String> { tokens.iter().map(|s| s.to_string()).collect() };
+        let ok = strs(&["scue", "7", "4", "24", "/tmp/img"]);
+        assert!(parse_child_args(&ok).is_ok());
+        for (tokens, needle) in [
+            (strs(&[]), "SCHEME"),
+            (strs(&["mercury", "7", "4", "24", "img"]), "`mercury`"),
+            (strs(&["scue", "x", "4", "24", "img"]), "SEED"),
+            (strs(&["scue", "7", "-1", "24", "img"]), "EPOCHS"),
+            (strs(&["scue", "7", "4", "many", "img"]), "`many`"),
+            (strs(&["scue", "7", "4", "24"]), "IMAGE"),
+        ] {
+            let err = parse_child_args(&tokens).unwrap_err();
+            assert!(err.contains(needle), "{err:?} must contain {needle}");
+            assert!(err.contains("--child"), "{err:?}");
         }
     }
 }

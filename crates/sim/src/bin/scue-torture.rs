@@ -9,7 +9,8 @@
 //! ```text
 //! scue-torture [--seed N] [--points N] [--ops N] [--eadr]
 //!              [--scheme NAME] [--json PATH] [--strict-baseline]
-//!              [--jobs N] [--replay scheme:ops:crash_at:fault]
+//!              [--strict-windows] [--jobs N]
+//!              [--replay scheme:ops:crash_at:fault]
 //! ```
 //!
 //! `--jobs` (default: available parallelism, overridable via the
@@ -41,7 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: scue-torture [--seed N] [--points N] [--ops N] [--eadr] \
          [--scheme baseline|lazy|eager|plp|bmf|scue] [--json PATH] \
-         [--strict-baseline] [--jobs N] [--replay scheme:ops:crash_at:fault]"
+         [--strict-baseline] [--strict-windows] [--jobs N] \
+         [--replay scheme:ops:crash_at:fault]"
     );
     std::process::exit(2);
 }
@@ -73,6 +75,7 @@ fn parse_args_from(
             "--ops" => cfg.ops = parsed("--ops", &value("--ops")?)?,
             "--eadr" => cfg.eadr = true,
             "--strict-baseline" => cfg.strict_baseline = true,
+            "--strict-windows" => cfg.strict_windows = true,
             "--scheme" => {
                 let v = value("--scheme")?;
                 let scheme = match v.as_str() {
@@ -254,6 +257,7 @@ mod tests {
                 "80",
                 "--eadr",
                 "--strict-baseline",
+                "--strict-windows",
                 "--scheme",
                 "scue",
                 "--jobs",
@@ -269,6 +273,7 @@ mod tests {
         assert_eq!(args.cfg.ops, 80);
         assert!(args.cfg.eadr);
         assert!(args.cfg.strict_baseline);
+        assert!(args.cfg.strict_windows);
         assert_eq!(args.schemes, vec![SchemeKind::Scue]);
         assert_eq!(args.jobs, 4);
         assert_eq!(args.json_path.as_deref(), Some("out.json"));

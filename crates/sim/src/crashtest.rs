@@ -255,6 +255,7 @@ fn crash_oracle(cfg: &CrashtestConfig, outcome: &CrashOutcome) -> Result<(), Str
         ops: cfg.epochs * cfg.ops_per_epoch,
         eadr: false,
         strict_baseline: false,
+        strict_windows: false,
     };
     let result = CaseResult {
         class: outcome.class,

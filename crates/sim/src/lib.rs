@@ -29,6 +29,7 @@
 pub mod config;
 pub mod crashtest;
 pub mod experiment;
+pub mod mc;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -39,6 +40,7 @@ pub use crashtest::{
     CrashtestConfig, CrashtestReport, DurableFaultKind, CRASHTEST_DOC_KIND,
     CRASHTEST_SCHEMA_VERSION,
 };
+pub use mc::{McConfig, McReport, MC_DOC_KIND, MC_SCHEMA_VERSION};
 pub use profile::{ProfileConfig, SchemeProfile, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION};
 pub use report::{ReportConfig, RunReport, METRICS_SCHEMA_VERSION};
 pub use runner::{RunResult, System};

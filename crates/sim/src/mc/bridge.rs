@@ -1,0 +1,340 @@
+//! The replay bridge: lowers abstract counterexamples onto the concrete
+//! engine and lifts concrete torture violations back into the abstract
+//! state space — the two directions of the soundness cross-validation.
+//!
+//! **Lowering.** An abstract witness is an action prefix plus a clean
+//! (ADR) crash. The bridge replays the torture op stream against the
+//! real [`SecureMemory`] to learn the concrete cycle schedule, then
+//! picks the crash cycle that realises the witness's abstract timing:
+//! inside the §III-B window (crash right after the last persist was
+//! *accepted* but before its root update settles) when the witness dies
+//! with a pending increment, long after quiesce otherwise. The lowered
+//! case is a plain `scheme:ops:crash_at:fault` spec, replayable by
+//! `scue-torture --replay … --strict-windows`.
+//!
+//! **Reproduction** is double-checked: the read-only recovery-invariant
+//! probe ([`scue::ConsistencyProbe`]) must fail on the crashed image,
+//! *and* the full torture case (crash → recover → shadow audit) must
+//! violate the strict-windows oracle.
+//!
+//! **Lifting** maps a concrete clean-crash case to abstract
+//! coordinates — ops issued before the crash and how many root
+//! increments the trust base is missing — so a shrunk torture violation
+//! can be checked against the abstract witness set.
+
+use super::model::CrashMode;
+use super::search::Witness;
+use crate::torture::{self, CaseSpec, FaultKind, TortureConfig};
+use scue::{SchemeKind, SecureMemConfig, SecureMemory};
+use scue_nvm::{Cycle, FaultPlan, TornPrefix};
+use scue_util::par;
+
+/// Crash offset that puts the machine far past every in-flight hash
+/// and WPQ drain (matches the torture harness's post-settle margin).
+const SETTLE_MARGIN: Cycle = 100_000;
+
+/// A lowered witness and the evidence it reproduced concretely.
+#[derive(Debug, Clone)]
+pub struct Reproduction {
+    /// The concrete case the witness lowered to.
+    pub case: CaseSpec,
+    /// The `scheme:ops:crash_at:fault` replay spec.
+    pub spec: String,
+    /// Whether the read-only invariant probe failed on the crashed
+    /// image (it must, for a genuine counterexample).
+    pub probe_failed: bool,
+    /// Whether the full torture case violated the strict-windows
+    /// oracle (it must).
+    pub oracle_violated: bool,
+}
+
+impl Reproduction {
+    /// Whether both checks agree the witness is concretely real.
+    pub fn reproduced(&self) -> bool {
+        self.probe_failed && self.oracle_violated
+    }
+}
+
+/// A concrete clean-crash case translated to abstract coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiftedCrash {
+    /// Ops the concrete stream issued before the crash cycle.
+    pub issues: usize,
+    /// Root increments the trust base is missing at recovery
+    /// (`rebuilt − trusted`): >0 means the crash landed in a window.
+    pub missing: u64,
+}
+
+/// The engine configured exactly as the torture harness runs cases.
+fn torture_machine(scheme: SchemeKind, cfg: &TortureConfig) -> SecureMemory {
+    let mut mem = SecureMemory::new(
+        SecureMemConfig::small_test(scheme)
+            .with_eadr(cfg.eadr)
+            .with_counter_repair(true),
+    );
+    mem.enable_fault_injection();
+    mem
+}
+
+/// Replays the first `k` torture ops, returning each op's
+/// `(entry_cycle, done_cycle)` — the acceptance point and the cycle its
+/// whole persist (hash included) completes.
+fn op_schedule(scheme: SchemeKind, cfg: &TortureConfig, k: usize) -> Option<Vec<(Cycle, Cycle)>> {
+    let mut mem = torture_machine(scheme, cfg);
+    let mut now: Cycle = 0;
+    let mut schedule = Vec::with_capacity(k);
+    for i in 0..k {
+        let (addr, fill) = torture::op_at(cfg.seed, i);
+        let done = mem.persist_data(addr, [fill; 64], now).ok()?;
+        schedule.push((now, done));
+        now = done;
+    }
+    Some(schedule)
+}
+
+/// Lowers an abstract witness to a concrete [`CaseSpec`].
+///
+/// Only clean-crash witnesses lower to replay specs (torn crashes are
+/// detections, not counterexamples, and carry no spec). Returns `None`
+/// for torn witnesses, zero-op witnesses, or a dead concrete engine.
+pub fn lower_witness(cfg: &TortureConfig, witness: &Witness) -> Option<CaseSpec> {
+    if witness.crash != CrashMode::Adr {
+        return None;
+    }
+    let k = witness.issues();
+    if k == 0 {
+        return None;
+    }
+    let schedule = op_schedule(witness.scheme, cfg, k)?;
+    let (entry_last, done_last) = *schedule.last()?;
+    let crash_at = if witness.pending_at_crash(witness.scheme) {
+        // Inside the window: the last op is accepted (its leaf write is
+        // durable) but its deferred root update has not settled.
+        entry_last + 1
+    } else {
+        // Post-settle: everything quiesced, only the durable trust base
+        // speaks for the ops.
+        done_last + SETTLE_MARGIN
+    };
+    Some(CaseSpec {
+        ops: k,
+        crash_at,
+        fault: FaultKind::None,
+    })
+}
+
+/// Replays the lowered case's crash and evaluates the read-only
+/// recovery-invariant probe on the raw crashed image.
+fn probe_lowered(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> bool {
+    let mut mem = torture_machine(scheme, cfg);
+    let mut now: Cycle = 0;
+    for i in 0..case.ops {
+        if now >= case.crash_at {
+            break;
+        }
+        let (addr, fill) = torture::op_at(cfg.seed, i);
+        match mem.persist_data(addr, [fill; 64], now) {
+            Ok(done) => now = done,
+            Err(_) => return true, // dead engine ⇒ trivially "holds"
+        }
+    }
+    mem.crash_with_faults(case.crash_at, &FaultPlan::none());
+    mem.probe_consistency().holds()
+}
+
+/// Lowers one witness and verifies it reproduces on the concrete
+/// engine, both ways (probe + strict-windows oracle).
+pub fn reproduce_witness(cfg: &TortureConfig, witness: &Witness) -> Option<Reproduction> {
+    let case = lower_witness(cfg, witness)?;
+    let strict = TortureConfig {
+        strict_windows: true,
+        ..*cfg
+    };
+    let probe_failed = !probe_lowered(witness.scheme, cfg, case);
+    let result = torture::run_case(witness.scheme, &strict, case);
+    let oracle_violated = torture::oracle(witness.scheme, &strict, &result).is_err();
+    Some(Reproduction {
+        case,
+        spec: case.replay_spec(witness.scheme),
+        probe_failed,
+        oracle_violated,
+    })
+}
+
+/// Reproduces every witness of every scheme report, fanned out over
+/// `jobs` workers; results arrive flattened in `(scheme, witness)`
+/// order, so the output is deterministic at any job count. Witnesses
+/// that do not lower (torn crashes) are skipped.
+pub fn reproduce_all(
+    cfg: &TortureConfig,
+    witnesses: &[Witness],
+    jobs: usize,
+) -> Vec<(usize, Reproduction)> {
+    let indexed: Vec<usize> = (0..witnesses.len()).collect();
+    par::expand_indexed(jobs, &indexed, |_, &i, _| {
+        reproduce_witness(cfg, &witnesses[i])
+            .map(|r| (i, r))
+            .into_iter()
+            .collect()
+    })
+}
+
+/// Replays an abstract torn-prefix crash concretely: `ops` ops, a crash
+/// just after the last acceptance, and a torn-prefix fault plan over
+/// the metadata WPQ. Returns the audited case result and whether the
+/// (non-strict) oracle accepted it — the abstract claim is that torn
+/// crashes are detected or repaired, never oracle violations.
+pub fn replay_torn(
+    scheme: SchemeKind,
+    cfg: &TortureConfig,
+    ops: usize,
+    prefix: TornPrefix,
+) -> (torture::CaseResult, Result<(), String>) {
+    let crash_at = op_schedule(scheme, cfg, ops)
+        .and_then(|s| s.last().map(|&(entry, _)| entry + 1))
+        .unwrap_or(1);
+    let case = CaseSpec {
+        ops,
+        crash_at,
+        fault: FaultKind::TornWpq, // label only; the plan below wins
+    };
+    let result =
+        torture::run_case_custom(scheme, cfg, case, Some(FaultPlan::tearing_prefix(prefix)));
+    let verdict = torture::oracle(scheme, cfg, &result);
+    (result, verdict)
+}
+
+/// Lifts a concrete clean-crash case to abstract coordinates, or `None`
+/// if the case injects a fault (fault cases have no abstract clean-
+/// crash counterpart).
+pub fn lift_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> Option<LiftedCrash> {
+    if case.fault != FaultKind::None {
+        return None;
+    }
+    let mut mem = torture_machine(scheme, cfg);
+    let mut now: Cycle = 0;
+    let mut issues = 0usize;
+    for i in 0..case.ops {
+        if now >= case.crash_at {
+            break;
+        }
+        let (addr, fill) = torture::op_at(cfg.seed, i);
+        now = mem.persist_data(addr, [fill; 64], now).ok()?;
+        issues += 1;
+    }
+    mem.crash_with_faults(case.crash_at, &FaultPlan::none());
+    let probe = mem.probe_consistency();
+    Some(LiftedCrash {
+        issues,
+        missing: probe.rebuilt_sum.saturating_sub(probe.trusted_sum),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::model::Action;
+    use crate::mc::search::{search_scheme, SearchConfig};
+
+    fn cfg() -> TortureConfig {
+        TortureConfig::default()
+    }
+
+    #[test]
+    fn lazy_and_eager_witnesses_reproduce_concretely() {
+        let search = SearchConfig::default();
+        for scheme in [SchemeKind::Lazy, SchemeKind::Eager] {
+            let report = search_scheme(scheme, &search);
+            assert!(report.witnesses_total > 0, "{scheme}");
+            let repro = reproduce_witness(&cfg(), &report.witness_list[0])
+                .expect("clean-crash witness must lower");
+            assert!(
+                repro.probe_failed,
+                "{scheme}: probe must fail on the crashed image: {repro:?}"
+            );
+            assert!(
+                repro.oracle_violated,
+                "{scheme}: strict-windows oracle must flag the replay: {repro:?}"
+            );
+            assert!(repro.reproduced());
+            assert!(repro.spec.starts_with(&format!(
+                "{}:",
+                match scheme {
+                    SchemeKind::Lazy => "lazy",
+                    _ => "eager",
+                }
+            )));
+        }
+    }
+
+    #[test]
+    fn rcc_schemes_have_no_lowerable_inconsistency() {
+        // Lower a hand-built "witness" shape against SCUE: the probe
+        // holds and the oracle stays clean, i.e. the bridge cannot
+        // manufacture a violation where the model proved none exists.
+        let w = Witness {
+            scheme: SchemeKind::Scue,
+            actions: vec![Action::Issue { block: 0 }],
+            crash: CrashMode::Adr,
+            verdict: crate::mc::model::Verdict::Inconsistent,
+        };
+        let repro = reproduce_witness(&cfg(), &w).unwrap();
+        assert!(!repro.probe_failed, "{repro:?}");
+        assert!(!repro.oracle_violated, "{repro:?}");
+    }
+
+    #[test]
+    fn torn_witnesses_do_not_lower() {
+        let w = Witness {
+            scheme: SchemeKind::Lazy,
+            actions: vec![Action::Issue { block: 0 }],
+            crash: CrashMode::Torn {
+                drained: 0,
+                words_new: 3,
+            },
+            verdict: crate::mc::model::Verdict::Detected,
+        };
+        assert!(lower_witness(&cfg(), &w).is_none());
+    }
+
+    #[test]
+    fn torn_prefix_replays_are_never_oracle_violations() {
+        // The abstract model claims every torn crash is detected or
+        // repaired. Check the concrete engine agrees across schemes and
+        // a sweep of prefixes.
+        for scheme in [SchemeKind::Scue, SchemeKind::Lazy, SchemeKind::BmfIdeal] {
+            for (drained, words) in [(0, 0), (0, 3), (1, 4), (2, 0)] {
+                let (result, verdict) = replay_torn(
+                    scheme,
+                    &cfg(),
+                    3,
+                    TornPrefix {
+                        fully_drained: drained,
+                        words_new: words,
+                    },
+                );
+                assert!(
+                    verdict.is_ok(),
+                    "{scheme} prefix=({drained},{words}): {result:?} {verdict:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifted_window_cases_match_abstract_witnesses() {
+        // Shrink-style concrete window cases lift to coordinates the
+        // abstract search also reaches.
+        let search = search_scheme(SchemeKind::Eager, &SearchConfig::default());
+        let witness = &search.witness_list[0];
+        let case = lower_witness(&cfg(), witness).unwrap();
+        let lifted = lift_case(SchemeKind::Eager, &cfg(), case).unwrap();
+        assert_eq!(lifted.issues, witness.issues());
+        assert!(lifted.missing > 0, "in-window crash misses increments");
+        // An abstract witness with those coordinates exists.
+        assert!(search
+            .witness_list
+            .iter()
+            .any(|w| w.issues() == lifted.issues && w.pending_at_crash(SchemeKind::Eager)));
+    }
+}

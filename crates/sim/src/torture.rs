@@ -231,6 +231,12 @@ pub struct TortureConfig {
     /// satisfy it under applied faults — this deliberately breaks the
     /// oracle to exercise the shrinking minimiser end-to-end.
     pub strict_baseline: bool,
+    /// Treat Lazy/Eager crash-window failures as oracle violations
+    /// instead of expected comparison points. The model checker's
+    /// replay bridge uses this to demand that an abstract
+    /// counterexample reproduces as a *violation* on the concrete
+    /// engine, not as a tolerated window fail.
+    pub strict_windows: bool,
 }
 
 impl Default for TortureConfig {
@@ -240,6 +246,7 @@ impl Default for TortureConfig {
             ops: 240,
             eadr: false,
             strict_baseline: false,
+            strict_windows: false,
         }
     }
 }
@@ -337,13 +344,26 @@ fn fault_plan(mem: &SecureMemory, cfg: &TortureConfig, case: CaseSpec, issued: u
 /// Runs one case end to end: op stream → crash(+faults) → recover →
 /// shadow audit → resume probe.
 pub fn run_case(scheme: SchemeKind, cfg: &TortureConfig, case: CaseSpec) -> CaseResult {
+    run_case_custom(scheme, cfg, case, None)
+}
+
+/// [`run_case`] with the fault plan overridden — the model checker's
+/// replay bridge lowers abstract torn-prefix crashes into plans that
+/// [`fault_plan`]'s rotation cannot express (`case.fault` is ignored
+/// when an override is given).
+pub(crate) fn run_case_custom(
+    scheme: SchemeKind,
+    cfg: &TortureConfig,
+    case: CaseSpec,
+    plan_override: Option<FaultPlan>,
+) -> CaseResult {
     let mut mem = SecureMemory::new(
         SecureMemConfig::small_test(scheme)
             .with_eadr(cfg.eadr)
             .with_counter_repair(true),
     );
     mem.enable_fault_injection();
-    let mut result = run_case_with(&mut mem, scheme, cfg, case);
+    let mut result = run_case_with(&mut mem, scheme, cfg, case, plan_override);
     result.history_dropped = mem.store().history_stats().dropped;
     result
 }
@@ -355,6 +375,7 @@ fn run_case_with(
     scheme: SchemeKind,
     cfg: &TortureConfig,
     case: CaseSpec,
+    plan_override: Option<FaultPlan>,
 ) -> CaseResult {
     // Phase 1: the deterministic op stream, cut off at the crash cycle.
     let mut shadow: BTreeMap<u64, u8> = BTreeMap::new();
@@ -382,7 +403,7 @@ fn run_case_with(
     }
 
     // Phase 2: power failure with the planned faults.
-    let plan = fault_plan(mem, cfg, case, issued);
+    let plan = plan_override.unwrap_or_else(|| fault_plan(mem, cfg, case, issued));
     let records = mem.crash_with_faults(case.crash_at, &plan);
     let fault_applied = records.iter().any(|r| r.applied);
 
@@ -537,6 +558,8 @@ pub fn oracle(scheme: SchemeKind, cfg: &TortureConfig, result: &CaseResult) -> R
         CaseClass::ExpectedWindowFail => {
             if scheme.root_crash_consistent() || (!scheme.is_secure() && cfg.strict_baseline) {
                 violation("root-crash-consistent scheme hit the crash window")
+            } else if cfg.strict_windows {
+                violation("crash-window failure under the strict-windows oracle")
             } else {
                 Ok(())
             }
@@ -615,6 +638,9 @@ impl ViolationReport {
         }
         if cfg.strict_baseline {
             cmd.push_str(" --strict-baseline");
+        }
+        if cfg.strict_windows {
+            cmd.push_str(" --strict-windows");
         }
         cmd.push_str(&format!(" --replay {}", self.case.replay_spec(self.scheme)));
         cmd
@@ -720,6 +746,7 @@ impl CampaignReport {
             .with("ops", Json::U64(self.config.ops as u64))
             .with("eadr", Json::Bool(self.config.eadr))
             .with("strict_baseline", Json::Bool(self.config.strict_baseline))
+            .with("strict_windows", Json::Bool(self.config.strict_windows))
             .with("schemes", Json::Arr(schemes))
             .with("total_violations", Json::U64(self.total_violations()))
             .with("violations", Json::Arr(violations))
@@ -949,7 +976,49 @@ mod tests {
             ops: 60,
             eadr: false,
             strict_baseline: false,
+            strict_windows: false,
         }
+    }
+
+    #[test]
+    fn strict_windows_turns_window_fails_into_violations() {
+        let cfg = quick_cfg();
+        let strict = TortureConfig {
+            strict_windows: true,
+            ..cfg
+        };
+        let result = CaseResult {
+            class: CaseClass::ExpectedWindowFail,
+            fault_applied: false,
+            repaired_leaves: 0,
+            history_dropped: 0,
+            detail: String::new(),
+        };
+        for scheme in [SchemeKind::Lazy, SchemeKind::Eager] {
+            oracle(scheme, &cfg, &result).expect("window fail is tolerated by default");
+            let err = oracle(scheme, &strict, &result)
+                .expect_err("strict-windows must flag the window fail");
+            assert!(err.contains("strict-windows"), "{err}");
+        }
+        // RCC schemes are violations either way.
+        oracle(SchemeKind::Scue, &cfg, &result).unwrap_err();
+        oracle(SchemeKind::Scue, &strict, &result).unwrap_err();
+        // And the replay command advertises the mode.
+        let violation = ViolationReport {
+            scheme: SchemeKind::Lazy,
+            case: CaseSpec {
+                ops: 1,
+                crash_at: 10,
+                fault: FaultKind::None,
+            },
+            message: String::new(),
+            shrink_steps: 0,
+            evals: 0,
+        };
+        assert!(violation
+            .replay_command(&strict)
+            .contains("--strict-windows"));
+        assert!(!violation.replay_command(&cfg).contains("--strict-windows"));
     }
 
     #[test]

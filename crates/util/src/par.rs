@@ -150,6 +150,30 @@ where
     out
 }
 
+/// Expands every item of a worklist in parallel and concatenates the
+/// per-item output lists **in item order**.
+///
+/// This is the deterministic frontier-expansion step of a breadth-first
+/// search: each frontier entry produces its successors independently,
+/// and the next frontier is the concatenation `f(0) ++ f(1) ++ …`
+/// regardless of which worker expanded which entry. Because the order
+/// of the flattened output is a pure function of the input order, a
+/// consumer that dedups sequentially (first occurrence wins) sees the
+/// exact same survivor set at any job count.
+pub fn expand_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync + Debug,
+    R: Send,
+    F: Fn(usize, &T, SplitMix64) -> Vec<R> + Sync,
+{
+    let nested = run_indexed(jobs, items, f);
+    let mut out = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+    for batch in nested {
+        out.extend(batch);
+    }
+    out
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -212,6 +236,25 @@ mod tests {
         assert!(message.contains("cell 5"), "{message}");
         assert!(message.contains("boom on 5"), "{message}");
         assert!(!message.contains("cell 11"), "first panic only: {message}");
+    }
+
+    #[test]
+    fn expansion_concatenates_in_item_order_at_any_job_count() {
+        let items: Vec<u32> = (0..13).collect();
+        let expand = |_i: usize, &x: &u32, _sm: SplitMix64| -> Vec<u32> {
+            (0..x % 4).map(|k| x * 10 + k).collect()
+        };
+        let serial = expand_indexed(1, &items, expand);
+        // Matches a plain sequential flat_map...
+        let expected: Vec<u32> = items
+            .iter()
+            .flat_map(|&x| expand(0, &x, cell_seed_stream(0)))
+            .collect();
+        assert_eq!(serial, expected);
+        // ...and is invariant under parallelism.
+        for jobs in [2, 5, 32] {
+            assert_eq!(expand_indexed(jobs, &items, expand), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -78,6 +78,50 @@ if ! grep -q '"total_violations":0' results/crashtest_smoke.json; then
 fi
 echo "crashtest wall-clock: $((t4 - t3)) ms at --jobs 4"
 
+echo "==> exhaustive crash model-check smoke (scue-mc, 6 schemes at 2-block/3-op scope)"
+# The abstract persist-pipeline model, fully enumerated: SCUE/PLP/BMF
+# must verify clean across every reachable post-crash state, Lazy/Eager
+# must each yield counterexample witnesses, and every witness must
+# reproduce on the concrete engine (scue-mc exits 1 on any RCC witness
+# or failed reproduction).
+t5=$(date +%s%3N)
+cargo run --release --offline -q -p scue-sim --bin scue-mc -- \
+    --blocks 2 --ops 3 --jobs 4 --json "$metrics_tmp/mc.json"
+t6=$(date +%s%3N)
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/mc.json"
+# A truncated search proves nothing — the smoke scope must be
+# exhaustive, and witnesses must come from exactly the two window
+# schemes (four of the six schemes report zero).
+if grep -q '"exhaustive":false' "$metrics_tmp/mc.json"; then
+    echo "ERROR: scue-mc smoke search was truncated" >&2
+    exit 1
+fi
+if [ "$(grep -o '"witnesses":0' "$metrics_tmp/mc.json" | wc -l)" -ne 4 ]; then
+    echo "ERROR: expected witnesses from exactly the two window schemes (Lazy, Eager)" >&2
+    exit 1
+fi
+
+echo "==> model-check determinism: --jobs 1 vs --jobs 4 + committed artefact"
+cargo run --release --offline -q -p scue-sim --bin scue-mc -- \
+    --blocks 2 --ops 3 --jobs 1 --json "$metrics_tmp/mc_serial.json" > /dev/null
+t7=$(date +%s%3N)
+if ! diff <(strip_provenance "$metrics_tmp/mc.json") \
+          <(strip_provenance "$metrics_tmp/mc_serial.json"); then
+    echo "ERROR: scue-mc payload differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+# The model check is fully deterministic, so the committed artefact is
+# diffed against the fresh run, not merely validated.
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    results/mc_smoke.json
+if ! diff <(strip_provenance "$metrics_tmp/mc.json") \
+          <(strip_provenance results/mc_smoke.json); then
+    echo "ERROR: committed results/mc_smoke.json diverged from a fresh run" >&2
+    exit 1
+fi
+echo "model-check wall-clock: --jobs 4: $((t6 - t5)) ms, --jobs 1: $((t7 - t6)) ms"
+
 echo "==> span-profiler smoke (scue-profile, monotonic clock, coverage >= 90%)"
 # check-metrics enforces the attribution budget on monotonic documents:
 # at least 90% of engine wall time must land in named spans.

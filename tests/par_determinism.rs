@@ -138,6 +138,7 @@ fn torture_campaign_is_jobs_invariant() {
         ops: 60,
         eadr: false,
         strict_baseline: false,
+        strict_windows: false,
     };
     assert_jobs_invariant("torture_campaign.json", |jobs| {
         torture::campaign_with_jobs(&cfg, 100, &scue::SchemeKind::ALL, jobs)
