@@ -23,6 +23,7 @@
 use crate::engine::SecureMemory;
 use scue_crypto::cme::CounterBlock;
 use scue_itree::geometry::NodeId;
+use scue_itree::SitNode;
 use scue_nvm::LineAddr;
 
 /// A captured (line, MAC) tuple the attacker recorded earlier, for
@@ -99,6 +100,39 @@ pub fn roll_back_and_forward(
     for _ in 0..forward_by {
         roll_forward_leaf(mem, forward_leaf, 0);
     }
+}
+
+/// Splices two self-consistent leaf tuples across addresses: leaf `a`'s
+/// (line, MAC) lands at leaf `b`'s address and vice versa. Each tuple is
+/// internally valid and the root *sum* is preserved, but leaf MACs are
+/// keyed by the leaf's identity, so any scheme that checks leaf HMACs
+/// catches the relocation.
+pub fn splice_leaves(mem: &mut SecureMemory, a: u64, b: u64) {
+    let ca = record_leaf(mem, a);
+    let cb = record_leaf(mem, b);
+    mem.note_tamper(ca.addr, "splice");
+    mem.note_tamper(cb.addr, "splice");
+    mem.store_mut().tamper_line(ca.addr, cb.line);
+    mem.sideband_mut().tamper(ca.addr, cb.mac);
+    mem.store_mut().tamper_line(cb.addr, ca.line);
+    mem.sideband_mut().tamper(cb.addr, ca.mac);
+}
+
+/// Targets the dummy-counter mechanism itself: bumps one counter slot of
+/// a stored intermediate SIT node in NVM. The attacker cannot re-key the
+/// node's HMAC, so a verified fetch of the node catches the mismatch;
+/// counter-summing recovery never trusts stored intermediates at all and
+/// rebuilds them from the leaves.
+pub fn tamper_dummy_counter(mem: &mut SecureMemory, level: u8, index: u64, slot: usize) {
+    let addr = mem
+        .context()
+        .geometry()
+        .node_addr(NodeId::new(level, index));
+    let mut node = SitNode::from_line(&mem.store().read_line(addr));
+    let bumped = node.counter(slot).wrapping_add(1) & scue_itree::COUNTER_MASK;
+    node.set_counter(slot, bumped);
+    mem.note_tamper(addr, "dummy-counter");
+    mem.store_mut().tamper_line(addr, node.to_line());
 }
 
 /// Tampers arbitrary NVM bytes (generic integrity attack on any line).
@@ -217,6 +251,44 @@ mod tests {
             matches!(m.recover().outcome, RecoveryOutcome::LeafMacMismatch { .. }),
             "the persistent root in nvMC pins the exact leaf content"
         );
+    }
+
+    #[test]
+    fn splice_detected_by_leaf_hmac() {
+        let mut m = SecureMemory::new(SecureMemConfig::small_test(SchemeKind::Scue));
+        let mut now = m.persist_data(LineAddr::new(0), [1; 64], 0).unwrap(); // leaf 0
+        now = m.persist_data(LineAddr::new(64), [2; 64], now).unwrap(); // leaf 1
+        now = m.persist_data(LineAddr::new(64), [3; 64], now).unwrap();
+        m.crash(now);
+        // Both tuples stay self-consistent and the root sum is unchanged;
+        // only the address binding in the leaf MACs gives the swap away.
+        splice_leaves(&mut m, 0, 1);
+        assert!(matches!(
+            m.recover().outcome,
+            RecoveryOutcome::LeafMacMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn dummy_counter_tamper_detected_on_verified_fetch() {
+        let (mut m, now) = scue_with_history();
+        // Bump a counter slot of the stored L1 node covering leaves 0–7.
+        tamper_dummy_counter(&mut m, 1, 0, 0);
+        // The cached copy shields reads until eviction; scanning the
+        // covered data lines forces refetches through the tampered node.
+        let mut detected = false;
+        let mut now = now;
+        for i in 0..64u64 {
+            match m.read_data(LineAddr::new(i * 64 % 4096), now) {
+                Ok((_, done)) => now = done,
+                Err(e) => {
+                    assert!(e.as_integrity().is_some(), "{e}");
+                    detected = true;
+                    break;
+                }
+            }
+        }
+        assert!(detected, "verified fetch must catch the bumped counter");
     }
 
     #[test]

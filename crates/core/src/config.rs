@@ -28,17 +28,47 @@ pub enum SchemeKind {
     /// The paper's contribution: shortcut Recovery_root updates plus
     /// dummy-counter (counter-summing) parent updates.
     Scue,
+    /// Phoenix (DSN'19): a persistently-secure tree of counters — every
+    /// persist eagerly updates the whole branch *and* persists the
+    /// updated nodes before acknowledging, so the durable tree is
+    /// always self-consistent up to the root.
+    Phoenix,
+    /// Triad-NVM (ISCA'19), persistence level 1: only leaf counter
+    /// blocks are persisted with the data; upper tree levels (and the
+    /// root) are reconstructed at recovery, so the running root is
+    /// stale the whole run.
+    TriadL1,
+    /// Triad-NVM (ISCA'19), persistence level 2: leaves plus their L1
+    /// parents are persisted write-through; levels above L1 are still
+    /// rebuilt at recovery and the root remains stale.
+    TriadL2,
+    /// Zuo et al. (MICRO'19)-style cacheline-level counter/data
+    /// co-persistence: counter and data persist together atomically,
+    /// but root updates ride an asynchronous queue (an Eager-like
+    /// propagation window).
+    Zuo,
+    /// Freij et al. (MICRO'21)-style coalesced tree updates: branch
+    /// updates are merged in the pipeline and the root delta is folded
+    /// in synchronously at acceptance, closing the crash window
+    /// without PLP's shadow-persist write cost.
+    Freij,
 }
 
 impl SchemeKind {
-    /// All evaluated schemes, in the paper's figure order.
-    pub const ALL: [SchemeKind; 6] = [
+    /// All evaluated schemes: the paper's six in figure order, then the
+    /// related-literature zoo in citation order.
+    pub const ALL: [SchemeKind; 11] = [
         SchemeKind::Baseline,
         SchemeKind::Plp,
         SchemeKind::Lazy,
         SchemeKind::Eager,
         SchemeKind::BmfIdeal,
         SchemeKind::Scue,
+        SchemeKind::Phoenix,
+        SchemeKind::TriadL1,
+        SchemeKind::TriadL2,
+        SchemeKind::Zuo,
+        SchemeKind::Freij,
     ];
 
     /// The four secure schemes shown in Figs. 9–10 (plus Baseline as the
@@ -59,6 +89,11 @@ impl SchemeKind {
             SchemeKind::Plp => "PLP",
             SchemeKind::BmfIdeal => "BMF-ideal",
             SchemeKind::Scue => "SCUE",
+            SchemeKind::Phoenix => "Phoenix",
+            SchemeKind::TriadL1 => "Triad-L1",
+            SchemeKind::TriadL2 => "Triad-L2",
+            SchemeKind::Zuo => "Zuo",
+            SchemeKind::Freij => "Freij",
         }
     }
 
@@ -73,7 +108,11 @@ impl SchemeKind {
     pub fn root_crash_consistent(self) -> bool {
         matches!(
             self,
-            SchemeKind::Plp | SchemeKind::BmfIdeal | SchemeKind::Scue
+            SchemeKind::Plp
+                | SchemeKind::BmfIdeal
+                | SchemeKind::Scue
+                | SchemeKind::Phoenix
+                | SchemeKind::Freij
         )
     }
 }
@@ -195,6 +234,12 @@ mod tests {
         assert!(!SchemeKind::Lazy.root_crash_consistent());
         assert!(!SchemeKind::Eager.root_crash_consistent());
         assert!(SchemeKind::Plp.root_crash_consistent());
+        assert!(SchemeKind::Phoenix.root_crash_consistent());
+        assert!(SchemeKind::Freij.root_crash_consistent());
+        assert!(!SchemeKind::TriadL1.root_crash_consistent());
+        assert!(!SchemeKind::TriadL2.root_crash_consistent());
+        assert!(!SchemeKind::Zuo.root_crash_consistent());
+        assert!(SchemeKind::Zuo.is_secure());
     }
 
     #[test]

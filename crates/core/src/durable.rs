@@ -139,6 +139,11 @@ fn scheme_code(scheme: SchemeKind) -> u8 {
         SchemeKind::Plp => 3,
         SchemeKind::BmfIdeal => 4,
         SchemeKind::Scue => 5,
+        SchemeKind::Phoenix => 6,
+        SchemeKind::TriadL1 => 7,
+        SchemeKind::TriadL2 => 8,
+        SchemeKind::Zuo => 9,
+        SchemeKind::Freij => 10,
     }
 }
 
@@ -150,6 +155,11 @@ fn scheme_from_code(code: u8) -> Option<SchemeKind> {
         3 => SchemeKind::Plp,
         4 => SchemeKind::BmfIdeal,
         5 => SchemeKind::Scue,
+        6 => SchemeKind::Phoenix,
+        7 => SchemeKind::TriadL1,
+        8 => SchemeKind::TriadL2,
+        9 => SchemeKind::Zuo,
+        10 => SchemeKind::Freij,
         _ => return None,
     })
 }
@@ -386,16 +396,9 @@ mod tests {
 
     #[test]
     fn scheme_codes_roundtrip() {
-        for scheme in [
-            SchemeKind::Baseline,
-            SchemeKind::Lazy,
-            SchemeKind::Eager,
-            SchemeKind::Plp,
-            SchemeKind::BmfIdeal,
-            SchemeKind::Scue,
-        ] {
+        for scheme in SchemeKind::ALL {
             assert_eq!(scheme_from_code(scheme_code(scheme)), Some(scheme));
         }
-        assert_eq!(scheme_from_code(6), None);
+        assert_eq!(scheme_from_code(11), None);
     }
 }

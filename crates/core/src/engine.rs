@@ -590,11 +590,17 @@ impl SecureMemory {
         loop {
             match self.ctx.geometry().parent(cur) {
                 Parent::Root(slot) => {
-                    // Lazy and SCUE maintain the running root via
-                    // top-level flushes; Eager/PLP account the root per
-                    // persist, so a flush-time overwrite would double
-                    // count.
-                    if matches!(self.cfg.scheme, SchemeKind::Lazy | SchemeKind::Scue) {
+                    // Lazy/SCUE/Triad maintain the running root via
+                    // top-level flushes; Eager/PLP/Phoenix/Zuo/Freij
+                    // account the root per persist, so a flush-time
+                    // overwrite would double count.
+                    if matches!(
+                        self.cfg.scheme,
+                        SchemeKind::Lazy
+                            | SchemeKind::Scue
+                            | SchemeKind::TriadL1
+                            | SchemeKind::TriadL2
+                    ) {
                         self.running_root.set(slot, dummy);
                     }
                     return done;
@@ -1081,6 +1087,99 @@ impl SecureMemory {
                 self.ensure_parent_updated(leaf, leaf_dummy, wlat_gate)?;
                 (program_done, wlat_gate)
             }
+            SchemeKind::Phoenix => {
+                // Phoenix: persistently-secure tree of counters. The whole
+                // branch is updated, every node's HMAC recomputed
+                // *serially bottom-up* (each parent MAC depends on the
+                // child's fresh content), and each updated node persisted
+                // before the write acknowledges — the durable tree is
+                // always self-consistent, at the steepest write cost in
+                // the zoo.
+                let t_chain = self.ensure_branch_updated(leaf, leaf_dummy, now.max(t_meta))?;
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let mut t_hash = self.hash.parallel_latency(t_chain, 2);
+                for _ in 1..geom.stored_levels() {
+                    t_hash = self.hash.parallel_latency(t_hash, 1);
+                }
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let shadows = self.persist_branch_shadows(leaf, t_hash);
+                // Root recoverable from the persisted tree: no window.
+                self.running_root.add(root_slot, delta);
+                let d = e_data.accepted.max(t_hash).max(shadows);
+                (d, d)
+            }
+            SchemeKind::TriadL1 => {
+                // Triad-NVM level 1: only the counter block persists with
+                // the data; the branch update happens off the acceptance
+                // path (upper levels are rebuilt at recovery, so their
+                // persistence never gates the ack) and the root moves only
+                // on top-level flushes — permanently stale.
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(now.max(t_meta), 2);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let program_done = e_data.accepted.max(t_hash);
+                self.ensure_parent_updated(leaf, leaf_dummy, program_done)?;
+                (program_done, program_done)
+            }
+            SchemeKind::TriadL2 => {
+                // Triad-NVM level 2: the L1 parent is updated, its HMAC
+                // recomputed, and the node persisted write-through inside
+                // the ack; levels above L1 stay volatile and the root
+                // stays stale until a top-level flush.
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(now.max(t_meta), 2);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let t_parent = self.ensure_parent_updated(leaf, leaf_dummy, t_hash)?;
+                let t_pmac = self.hash.parallel_latency(t_parent.max(t_hash), 1);
+                let persisted = self.persist_parent_node(leaf, t_pmac);
+                let d = e_data.accepted.max(t_pmac).max(persisted);
+                (d, d)
+            }
+            SchemeKind::Zuo => {
+                // Zuo-style cacheline-level counter/data co-persistence:
+                // the counter-block write rides the same atomic persist
+                // as the data line, so the ack gates only on the leaf MAC
+                // pair. Branch counters update off the acceptance path and
+                // the root delta lands when that propagation's hashes
+                // settle — an Eager-shaped §III-B window.
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(now.max(t_meta), 2);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                let t_chain = self.ensure_branch_updated(leaf, leaf_dummy, t_hash)?;
+                let branch = geom.stored_levels() as u64 + 1;
+                let t_prop = self.hash.parallel_latency(t_chain, branch);
+                self.pending_root.push(PendingRoot {
+                    done: t_prop,
+                    slot: root_slot,
+                    delta,
+                });
+                let d = e_data.accepted.max(t_hash);
+                (d, d)
+            }
+            SchemeKind::Freij => {
+                // Freij-style coalesced tree updates: branch updates merge
+                // in the cache/WPQ pipeline (one parallel hash batch, no
+                // shadow persists) and the root delta folds in
+                // synchronously at acceptance — no §III-B window, without
+                // PLP's metadata-traffic cost.
+                let t_chain = self.ensure_branch_updated(leaf, leaf_dummy, now.max(t_meta))?;
+                let mac = self.ctx.leaf_mac(leaf, &block, leaf_dummy);
+                let t_hash = self.hash.parallel_latency(t_chain, 2);
+                self.mc
+                    .write_coalesced(leaf_addr, block.to_line(), AccessKind::Metadata);
+                self.sideband.set(leaf_addr, mac);
+                self.running_root.add(root_slot, delta);
+                let d = e_data.accepted.max(t_hash);
+                (d, d)
+            }
         };
 
         // Refresh the cached copy. Secure schemes just wrote the leaf
@@ -1096,9 +1195,12 @@ impl SecureMemory {
         // completes; SCUE's dummy counter keeps it off the critical path.
         let ev_done = self.drain_victims(now);
         let (done, wlat_gate) = match self.cfg.scheme {
-            SchemeKind::Lazy | SchemeKind::Eager | SchemeKind::Plp => {
-                (done.max(ev_done), wlat_gate.max(ev_done))
-            }
+            SchemeKind::Lazy
+            | SchemeKind::Eager
+            | SchemeKind::Plp
+            | SchemeKind::Phoenix
+            | SchemeKind::Zuo
+            | SchemeKind::Freij => (done.max(ev_done), wlat_gate.max(ev_done)),
             _ => (done, wlat_gate),
         };
 
@@ -1191,6 +1293,23 @@ impl SecureMemory {
             done = done.max(e.accepted);
         }
         done
+    }
+
+    /// Triad-L2: persist the leaf's (just-updated, cached) L1 parent
+    /// write-through; returns the acceptance cycle. Levels above L1 stay
+    /// volatile.
+    fn persist_parent_node(&mut self, leaf: NodeId, now: Cycle) -> Cycle {
+        let parent = match self.ctx.geometry().parent(leaf) {
+            Parent::Node(parent) => parent,
+            Parent::Root(_) => return now,
+        };
+        let addr = self.meta_addr(parent);
+        let line = match self.mdcache.get(addr) {
+            Some(entry) => entry.to_line(),
+            None => return now,
+        };
+        self.mc_write(addr, line, now, AccessKind::Metadata)
+            .accepted
     }
 
     /// Minor-counter overflow: every line the block covers was encrypted

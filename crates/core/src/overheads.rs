@@ -45,9 +45,25 @@ pub fn on_chip(scheme: SchemeKind, geometry: &TreeGeometry) -> OnChipOverhead {
             nonvolatile_bytes: 0,
             breakdown: "none (no integrity tree)",
         },
-        SchemeKind::Lazy | SchemeKind::Eager => OnChipOverhead {
+        SchemeKind::Lazy
+        | SchemeKind::Eager
+        | SchemeKind::TriadL1
+        | SchemeKind::TriadL2
+        | SchemeKind::Zuo => OnChipOverhead {
             nonvolatile_bytes: 64,
             breakdown: "one 64 B root register (no crash consistency)",
+        },
+        SchemeKind::Phoenix => OnChipOverhead {
+            // Root register plus a persist-queue tracker for the in-
+            // flight branch persists (one 64 B line's worth of state).
+            nonvolatile_bytes: 64 + 64,
+            breakdown: "root register + branch persist tracker (64 B)",
+        },
+        SchemeKind::Freij => OnChipOverhead {
+            // Root register plus the update-coalescing buffer tags
+            // (modelled at 256 B, in the PTT's ballpark but smaller).
+            nonvolatile_bytes: 64 + 256,
+            breakdown: "root register + coalescing buffer tags (256 B)",
         },
         SchemeKind::Plp => OnChipOverhead {
             // PTT 616 B + ETT 48 b (rounded up to 6 B), plus the root.

@@ -296,9 +296,18 @@ pub(crate) fn run(mem: &mut SecureMemory) -> RecoveryReport {
             RecoveryReport::new(RecoveryOutcome::Unverified, 0, RecoveryPhases::default())
         }
         SchemeKind::BmfIdeal => recover_bmf(mem),
-        SchemeKind::Lazy | SchemeKind::Eager | SchemeKind::Plp | SchemeKind::Scue => {
-            recover_counter_summing(mem)
-        }
+        // Every SIT-shaped scheme — the paper's four plus the zoo —
+        // reconstructs by counter summing; only the trusted root register
+        // differs (Recovery_root for SCUE, the running root elsewhere).
+        SchemeKind::Lazy
+        | SchemeKind::Eager
+        | SchemeKind::Plp
+        | SchemeKind::Scue
+        | SchemeKind::Phoenix
+        | SchemeKind::TriadL1
+        | SchemeKind::TriadL2
+        | SchemeKind::Zuo
+        | SchemeKind::Freij => recover_counter_summing(mem),
     }
 }
 

@@ -1,20 +1,22 @@
-//! Crash-point torture campaign runner.
+//! Seeded attack-campaign runner.
 //!
-//! Samples crash cycles (uniform + persistence-boundary-biased) across
-//! all six schemes, injects media faults at the crash point, and holds
-//! each scheme to the differential recovery oracle. Oracle violations
-//! are shrunk to a minimal `(ops, crash_at, fault)` triple and printed
-//! with a replay command.
+//! Injects replay / rollback / splice / dummy-counter tampering into a
+//! running [`scue::SecureMemory`] at sampled op indices across the full
+//! scheme zoo, drives each machine to its first integrity error, and
+//! reports per-scheme detection-latency histograms plus the audited
+//! fate of every case. The attack [`scue_sim::attack::oracle`] holds
+//! secure schemes to "no effective tamper survives undetected" and
+//! Baseline to "no detection ever" — silent corruption on Baseline is
+//! the *expected*, asserted outcome.
 //!
 //! ```text
-//! scue-torture [--seed N] [--points N] [--ops N] [--eadr]
-//!              [--scheme NAME] [--json PATH] [--strict-baseline]
-//!              [--strict-windows] [--jobs N]
-//!              [--replay scheme:ops:crash_at:fault]
+//! scue-attack [--seed N] [--points N] [--ops N] [--drive N]
+//!             [--scheme NAME] [--json PATH] [--jobs N]
+//!             [--replay scheme:attack:ops:inject_at]
 //! ```
 //!
 //! `--jobs` (default: available parallelism, overridable via the
-//! `SCUE_JOBS` environment variable) fans the campaign's crash cases
+//! `SCUE_JOBS` environment variable) fans the campaign's attack cases
 //! out over worker threads. The campaign report — and the `--json`
 //! payload — is byte-identical at any job count; only the trailing
 //! `provenance` object (job count, wall-clock) varies.
@@ -23,14 +25,14 @@
 //! replay), 2 on usage errors.
 
 use scue::SchemeKind;
-use scue_sim::torture::{self, CaseSpec, TortureConfig};
+use scue_sim::attack::{self, AttackConfig, AttackSpec};
 use scue_util::obs::Json;
 use scue_util::par;
 use std::process::ExitCode;
 
 #[derive(Debug)]
 struct Args {
-    cfg: TortureConfig,
+    cfg: AttackConfig,
     points: usize,
     schemes: Vec<SchemeKind>,
     json_path: Option<String>,
@@ -40,10 +42,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scue-torture [--seed N] [--points N] [--ops N] [--eadr] \
+        "usage: scue-attack [--seed N] [--points N] [--ops N] [--drive N] \
          [--scheme baseline|lazy|eager|plp|bmf|scue|phoenix|triad1|triad2|zuo|freij] [--json PATH] \
-         [--strict-baseline] [--strict-windows] [--jobs N] \
-         [--replay scheme:ops:crash_at:fault]"
+         [--jobs N] [--replay scheme:attack:ops:inject_at]"
     );
     std::process::exit(2);
 }
@@ -55,8 +56,8 @@ fn parse_args_from(
     mut it: impl Iterator<Item = String>,
     env_jobs: Option<&str>,
 ) -> Result<Args, String> {
-    let mut cfg = TortureConfig::default();
-    let mut points = 200usize;
+    let mut cfg = AttackConfig::default();
+    let mut points = 20usize;
     let mut schemes = SchemeKind::ALL.to_vec();
     let mut json_path = None;
     let mut replay = None;
@@ -73,9 +74,7 @@ fn parse_args_from(
             "--seed" => cfg.seed = parsed("--seed", &value("--seed")?)?,
             "--points" => points = parsed("--points", &value("--points")?)?,
             "--ops" => cfg.ops = parsed("--ops", &value("--ops")?)?,
-            "--eadr" => cfg.eadr = true,
-            "--strict-baseline" => cfg.strict_baseline = true,
-            "--strict-windows" => cfg.strict_windows = true,
+            "--drive" => cfg.drive_ops = parsed("--drive", &value("--drive")?)?,
             "--scheme" => {
                 let v = value("--scheme")?;
                 let scheme = match v.as_str() {
@@ -123,36 +122,39 @@ fn parse_args() -> Args {
     let env = std::env::var(par::JOBS_ENV).ok();
     parse_args_from(std::env::args().skip(1), env.as_deref()).unwrap_or_else(|msg| {
         if !msg.is_empty() {
-            eprintln!("scue-torture: {msg}");
+            eprintln!("scue-attack: {msg}");
         }
         usage();
     })
 }
 
-/// Re-runs one minimised case and reports the oracle's verdict.
-/// Malformed specs are diagnosed field by field on stderr.
-fn replay(spec: &str, cfg: &TortureConfig) -> ExitCode {
-    let (scheme, case) = match CaseSpec::diagnose_replay(spec) {
+/// Re-runs one attack case and reports the oracle's verdict. Malformed
+/// specs are diagnosed field by field on stderr.
+fn replay(spec: &str, cfg: &AttackConfig) -> ExitCode {
+    let (scheme, case) = match AttackSpec::diagnose_replay(spec) {
         Ok(parsed) => parsed,
         Err(why) => {
-            eprintln!("scue-torture: {why}");
+            eprintln!("scue-attack: {why}");
             usage();
         }
     };
-    let result = torture::run_case(scheme, cfg, case);
+    let result = attack::run_attack_case(scheme, cfg, case);
     println!(
-        "replay {scheme} ops={} crash_at={} fault={}: {} (fault_applied={}, repaired_leaves={})",
+        "replay {scheme} attack={} ops={} inject_at={}: {} (mutated={}{})",
+        case.attack.name(),
         case.ops,
-        case.crash_at,
-        case.fault.name(),
+        case.inject_at,
         result.class.name(),
-        result.fault_applied,
-        result.repaired_leaves,
+        result.mutated,
+        match result.latency {
+            Some(l) => format!(", latency={l}"),
+            None => String::new(),
+        },
     );
     if !result.detail.is_empty() {
         println!("  detail: {}", result.detail);
     }
-    match torture::oracle(scheme, cfg, &result) {
+    match attack::oracle(scheme, case, &result) {
         Ok(()) => {
             println!("  oracle: ok");
             ExitCode::SUCCESS
@@ -171,7 +173,7 @@ fn main() -> ExitCode {
     }
 
     let started = std::time::Instant::now();
-    let report = torture::campaign_with_jobs(&args.cfg, args.points, &args.schemes, args.jobs);
+    let report = attack::campaign_with_jobs(&args.cfg, args.points, &args.schemes, args.jobs);
     let wall_ms = started.elapsed().as_millis() as u64;
     for tally in &report.tallies {
         let outcomes: Vec<String> = tally
@@ -179,24 +181,25 @@ fn main() -> ExitCode {
             .iter()
             .map(|(class, n)| format!("{}={n}", class.name()))
             .collect();
+        let latency = if tally.latency.is_empty() {
+            "latency=none".to_string()
+        } else {
+            format!(
+                "latency(n={} mean={:.1} max={})",
+                tally.latency.count(),
+                tally.latency.mean(),
+                tally.latency.max(),
+            )
+        };
         println!(
-            "{:<10} cases={} faults_applied={} repaired_leaves={} violations={} [{}]",
+            "{:<10} cases={} mutated={} violations={} {} [{}]",
             tally.scheme.to_string(),
             tally.cases,
-            tally.faults_applied,
-            tally.repaired_leaves,
+            tally.mutated,
             tally.violations,
+            latency,
             outcomes.join(" "),
         );
-    }
-    for tally in &report.tallies {
-        if tally.history_dropped > 0 {
-            eprintln!(
-                "warning: {}: store history journal dropped {} pre-images \
-                 (raise the cap if fault fidelity matters)",
-                tally.scheme, tally.history_dropped
-            );
-        }
     }
     for v in &report.violations {
         eprintln!(
@@ -219,7 +222,7 @@ fn main() -> ExitCode {
                 .with("wall_ms", Json::U64(wall_ms)),
         );
         if let Err(e) = std::fs::write(path, doc.render_doc()) {
-            eprintln!("scue-torture: cannot write {path}: {e}");
+            eprintln!("scue-attack: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
@@ -241,6 +244,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scue_sim::attack::AttackKind;
 
     fn parse(tokens: &[&str], env_jobs: Option<&str>) -> Result<Args, String> {
         parse_args_from(tokens.iter().map(|s| s.to_string()), env_jobs)
@@ -249,7 +253,7 @@ mod tests {
     #[test]
     fn defaults_parse_clean() {
         let args = parse(&[], None).unwrap();
-        assert_eq!(args.points, 200);
+        assert_eq!(args.points, 20);
         assert_eq!(args.schemes, SchemeKind::ALL.to_vec());
         assert!(args.jobs >= 1);
     }
@@ -258,34 +262,29 @@ mod tests {
     fn full_flag_set_parses() {
         let args = parse(
             &[
-                "--seed",
-                "9",
-                "--points",
-                "50",
-                "--ops",
-                "80",
-                "--eadr",
-                "--strict-baseline",
-                "--strict-windows",
-                "--scheme",
-                "scue",
-                "--jobs",
-                "4",
-                "--json",
-                "out.json",
+                "--seed", "9", "--points", "8", "--ops", "64", "--drive", "80", "--scheme",
+                "phoenix", "--jobs", "4", "--json", "out.json",
             ],
             None,
         )
         .unwrap();
         assert_eq!(args.cfg.seed, 9);
-        assert_eq!(args.points, 50);
-        assert_eq!(args.cfg.ops, 80);
-        assert!(args.cfg.eadr);
-        assert!(args.cfg.strict_baseline);
-        assert!(args.cfg.strict_windows);
-        assert_eq!(args.schemes, vec![SchemeKind::Scue]);
+        assert_eq!(args.points, 8);
+        assert_eq!(args.cfg.ops, 64);
+        assert_eq!(args.cfg.drive_ops, 80);
+        assert_eq!(args.schemes, vec![SchemeKind::Phoenix]);
         assert_eq!(args.jobs, 4);
         assert_eq!(args.json_path.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn replay_specs_parse_through_the_flag() {
+        let args = parse(&["--replay", "scue:splice:48:17"], None).unwrap();
+        let (scheme, spec) = AttackSpec::diagnose_replay(args.replay.as_deref().unwrap()).unwrap();
+        assert_eq!(scheme, SchemeKind::Scue);
+        assert_eq!(spec.attack, AttackKind::Splice);
+        assert_eq!(spec.ops, 48);
+        assert_eq!(spec.inject_at, 17);
     }
 
     #[test]
@@ -304,23 +303,12 @@ mod tests {
     }
 
     #[test]
-    fn bad_env_jobs_is_an_error_even_when_the_flag_wins() {
-        for bad in ["0", "lots", ""] {
-            let err = parse(&[], Some(bad)).unwrap_err();
-            assert!(err.contains("SCUE_JOBS"), "{err:?}");
-            assert!(err.contains(&format!("`{bad}`")), "{err:?}");
-            // A conflicting garbled override still errors with the flag set.
-            let err2 = parse(&["--jobs", "3"], Some(bad)).unwrap_err();
-            assert_eq!(err, err2);
-        }
-    }
-
-    #[test]
     fn bad_values_name_the_flag_and_value() {
         for (tokens, flag, value) in [
             (vec!["--seed", "x"], "--seed", "x"),
             (vec!["--points", "-1"], "--points", "-1"),
             (vec!["--ops", "1.5"], "--ops", "1.5"),
+            (vec!["--drive", "soon"], "--drive", "soon"),
             (vec!["--scheme", "mercury"], "--scheme", "mercury"),
         ] {
             let err = parse(&tokens, None).unwrap_err();

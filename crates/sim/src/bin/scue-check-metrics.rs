@@ -34,12 +34,14 @@
 //! 30%, allocations per op may grow at most 10% + 8, primitive medians
 //! at most 35% + 20 ns. Prints the first violation and exits 1.
 
+use scue::SchemeKind;
+use scue_sim::attack::{AttackClass, AttackKind};
 use scue_sim::mc::{Verdict, WITNESS_CAP};
 use scue_sim::torture::CaseClass;
 use scue_sim::{
-    CRASHTEST_DOC_KIND, CRASHTEST_SCHEMA_VERSION, MC_DOC_KIND, MC_SCHEMA_VERSION,
-    METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND, PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND,
-    TORTURE_SCHEMA_VERSION,
+    ATTACK_DOC_KIND, ATTACK_SCHEMA_VERSION, CRASHTEST_DOC_KIND, CRASHTEST_SCHEMA_VERSION,
+    MC_DOC_KIND, MC_SCHEMA_VERSION, METRICS_SCHEMA_VERSION, PROFILE_DOC_KIND,
+    PROFILE_SCHEMA_VERSION, TORTURE_DOC_KIND, TORTURE_SCHEMA_VERSION,
 };
 use scue_util::obs::Json;
 
@@ -252,6 +254,197 @@ fn check_torture(doc: &Json) -> Result<(), String> {
         ));
     }
     for v in listed {
+        v.get("replay")
+            .and_then(Json::as_str)
+            .filter(|r| r.contains("--replay"))
+            .ok_or("violation entry without a usable `replay` command")?;
+    }
+    check_provenance(doc)
+}
+
+/// Validates a `scue-attack` seeded attack-campaign document: outcome
+/// tallies (total and per attack kind) partition the injected cases,
+/// the detection-latency histogram counts exactly the online
+/// detections, Baseline never detects (silent corruption there is the
+/// expected Table I outcome, asserted), and the violation list is
+/// consistent with `total_violations`.
+fn check_attack(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("schema_version is not an integer")?;
+    if version != ATTACK_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {ATTACK_SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["seed", "points", "ops", "drive_ops", "total_violations"] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("`{key}` is not an integer"))?;
+    }
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("`schemes` is not an array")?;
+    if schemes.is_empty() {
+        return Err("`schemes` is empty".to_string());
+    }
+    let mut violation_sum = 0;
+    for entry in schemes {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or("scheme entry without a `scheme` name")?;
+        let cases = entry
+            .get("cases")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `cases` is not an integer"))?;
+        let mutated = entry
+            .get("mutated")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `mutated` is not an integer"))?;
+        if mutated > cases {
+            return Err(format!("{name}: mutated {mutated} exceeds {cases} cases"));
+        }
+        let tally = |outcomes: &Json, ctx: &str| -> Result<Vec<u64>, String> {
+            AttackClass::ALL
+                .iter()
+                .map(|class| {
+                    outcomes
+                        .get(class.name())
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{ctx}: outcomes.{} missing", class.name()))
+                })
+                .collect()
+        };
+        let outcomes = tally(
+            entry
+                .get("outcomes")
+                .ok_or(format!("{name}: missing `outcomes`"))?,
+            name,
+        )?;
+        let sum: u64 = outcomes.iter().sum();
+        if sum != cases {
+            return Err(format!(
+                "{name}: outcome tallies sum to {sum}, expected {cases} cases"
+            ));
+        }
+        // The per-attack histograms are a finer partition of the same
+        // cases: their class tallies must sum to the scheme's.
+        let attacks = entry
+            .get("attacks")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{name}: `attacks` is not an array"))?;
+        if attacks.len() != AttackKind::ALL.len() {
+            return Err(format!(
+                "{name}: {} attack entries, expected {}",
+                attacks.len(),
+                AttackKind::ALL.len()
+            ));
+        }
+        let mut per_attack = vec![0u64; AttackClass::ALL.len()];
+        for (kind, a) in AttackKind::ALL.iter().zip(attacks) {
+            let attack_name = a
+                .get("attack")
+                .and_then(Json::as_str)
+                .ok_or(format!("{name}: attack entry without an `attack` name"))?;
+            if attack_name != kind.name() {
+                return Err(format!(
+                    "{name}: attack entry `{attack_name}` out of order, expected `{}`",
+                    kind.name()
+                ));
+            }
+            let ctx = format!("{name}/{attack_name}");
+            let t = tally(
+                a.get("outcomes")
+                    .ok_or(format!("{ctx}: missing `outcomes`"))?,
+                &ctx,
+            )?;
+            for (total, n) in per_attack.iter_mut().zip(&t) {
+                *total += n;
+            }
+        }
+        let attack_sum: u64 = per_attack.iter().sum();
+        if attack_sum != cases {
+            return Err(format!(
+                "{name}: per-attack tallies sum to {attack_sum}, expected {cases} cases"
+            ));
+        }
+        if per_attack != outcomes {
+            return Err(format!(
+                "{name}: per-attack tallies disagree with the scheme outcome tally"
+            ));
+        }
+        // Online detections each record exactly one latency sample.
+        let latency = entry
+            .get("detection_latency")
+            .ok_or(format!("{name}: missing `detection_latency`"))?;
+        let latency_count = latency
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: detection_latency.count is not an integer"))?;
+        let online = outcomes[0];
+        debug_assert_eq!(AttackClass::ALL[0], AttackClass::DetectedOnline);
+        if latency_count != online {
+            return Err(format!(
+                "{name}: detection_latency.count {latency_count} != \
+                 detected_online outcome count {online}"
+            ));
+        }
+        // Baseline has nothing to verify with: any detection is a
+        // modelling bug, and with effective tampers it must show the
+        // silent corruption the paper's Table I predicts.
+        let kind = SchemeKind::ALL
+            .into_iter()
+            .find(|s| s.to_string() == name)
+            .ok_or(format!("unknown scheme `{name}`"))?;
+        let detections: u64 = AttackClass::ALL
+            .iter()
+            .zip(&outcomes)
+            .filter(|(c, _)| c.is_detection())
+            .map(|(_, n)| n)
+            .sum();
+        if !kind.is_secure() {
+            if detections > 0 {
+                return Err(format!(
+                    "{name}: an unprotected scheme reports {detections} detections"
+                ));
+            }
+            if mutated > 0 && sum == outcomes[AttackClass::ALL.len() - 3] {
+                // All cases UndetectedNoop despite effective tampers.
+                return Err(format!(
+                    "{name}: effective tampers left no observable outcome"
+                ));
+            }
+        }
+        violation_sum += entry
+            .get("oracle_violations")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}: `oracle_violations` is not an integer"))?;
+    }
+    let total = doc.get("total_violations").and_then(Json::as_u64).unwrap();
+    if total != violation_sum {
+        return Err(format!(
+            "total_violations {total} != per-scheme sum {violation_sum}"
+        ));
+    }
+    let listed = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("`violations` is not an array")?;
+    if listed.len() as u64 != total {
+        return Err(format!(
+            "violation list has {} entries, total_violations says {total}",
+            listed.len()
+        ));
+    }
+    for v in listed {
+        for key in ["scheme", "attack", "message"] {
+            v.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("violation entry without a `{key}`"))?;
+        }
         v.get("replay")
             .and_then(Json::as_str)
             .filter(|r| r.contains("--replay"))
@@ -893,6 +1086,8 @@ fn main() {
         (check_chrome(&doc), CHROME_DOC_KIND, PROFILE_SCHEMA_VERSION)
     } else if kind == TORTURE_DOC_KIND {
         (check_torture(&doc), kind, TORTURE_SCHEMA_VERSION)
+    } else if kind == ATTACK_DOC_KIND {
+        (check_attack(&doc), kind, ATTACK_SCHEMA_VERSION)
     } else if kind == CRASHTEST_DOC_KIND {
         (check_crashtest(&doc), kind, CRASHTEST_SCHEMA_VERSION)
     } else if kind == MC_DOC_KIND {
@@ -1284,6 +1479,138 @@ mod tests {
             .replace("\"actions\":[\"issue:0\"]", "\"actions\":[]");
         let err = check_mc(&Json::parse(&rendered).unwrap()).unwrap_err();
         assert!(err.contains("empty action trace"), "{err}");
+    }
+
+    fn attack_doc() -> Json {
+        use scue_sim::attack::{self, AttackConfig};
+        let cfg = AttackConfig {
+            seed: 5,
+            ops: 48,
+            drive_ops: 120,
+        };
+        attack::campaign(&cfg, 4, &[SchemeKind::Scue, SchemeKind::Baseline]).to_json()
+    }
+
+    #[test]
+    fn live_attack_docs_pass() {
+        let mut doc = attack_doc();
+        check_attack(&doc).unwrap();
+        doc.set(
+            "provenance",
+            Json::obj()
+                .with("jobs", Json::U64(4))
+                .with("wall_ms", Json::U64(3)),
+        );
+        check_attack(&doc).unwrap();
+    }
+
+    #[test]
+    fn attack_outcomes_must_partition_cases() {
+        let rendered =
+            attack_doc()
+                .render_doc()
+                .replacen("\"engine_failure\":0", "\"engine_failure\":1", 1);
+        let err = check_attack(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("tallies"), "{err}");
+    }
+
+    #[test]
+    fn attack_latency_count_must_match_online_detections() {
+        let doc = attack_doc();
+        let schemes = doc.get("schemes").and_then(Json::as_arr).unwrap();
+        let scue_online = schemes[0]
+            .get("outcomes")
+            .and_then(|o| o.get("detected_online"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(scue_online > 0, "SCUE must detect online in this campaign");
+        let rendered = doc.render_doc().replacen(
+            &format!("\"count\":{scue_online}"),
+            &format!("\"count\":{}", scue_online + 1),
+            1,
+        );
+        let err = check_attack(&Json::parse(&rendered).unwrap()).unwrap_err();
+        assert!(err.contains("detection_latency.count"), "{err}");
+    }
+
+    /// A minimal, internally consistent attack doc with one Baseline
+    /// scheme whose cases all land in one outcome class (carried by the
+    /// first attack kind).
+    fn baseline_attack_doc(class: AttackClass, cases: u64) -> Json {
+        let outcomes_with = |n: u64| {
+            let mut outcomes = Json::obj();
+            for c in AttackClass::ALL {
+                outcomes.set(c.name(), Json::U64(if c == class { n } else { 0 }));
+            }
+            outcomes
+        };
+        let attacks = AttackKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                Json::obj()
+                    .with("attack", Json::Str(kind.name().to_string()))
+                    .with("outcomes", outcomes_with(if i == 0 { cases } else { 0 }))
+            })
+            .collect();
+        let latency = scue_util::obs::Histogram::new().summary_json();
+        let scheme = Json::obj()
+            .with("scheme", Json::Str("Baseline".into()))
+            .with("cases", Json::U64(cases))
+            .with("mutated", Json::U64(cases))
+            .with("outcomes", outcomes_with(cases))
+            .with("attacks", Json::Arr(attacks))
+            .with("detection_latency", latency)
+            .with("oracle_violations", Json::U64(0));
+        Json::obj()
+            .with("schema_version", Json::U64(ATTACK_SCHEMA_VERSION))
+            .with("kind", Json::Str(ATTACK_DOC_KIND.into()))
+            .with("seed", Json::U64(1))
+            .with("points", Json::U64(cases))
+            .with("ops", Json::U64(8))
+            .with("drive_ops", Json::U64(8))
+            .with("schemes", Json::Arr(vec![scheme]))
+            .with("total_violations", Json::U64(0))
+            .with("violations", Json::Arr(vec![]))
+    }
+
+    #[test]
+    fn baseline_reporting_a_detection_is_rejected() {
+        // Silent corruption on Baseline is the expected Table I outcome.
+        check_attack(&baseline_attack_doc(AttackClass::SilentCorruption, 4)).unwrap();
+        // Baseline has no verification; a doc claiming it detected a
+        // tamper is a modelling bug — for any detection class. The doc
+        // stays internally consistent, so only the Baseline-specific
+        // check can object.
+        for class in [
+            AttackClass::DetectedOnline,
+            AttackClass::DetectedAtRecovery,
+            AttackClass::DetectedOnAudit,
+        ] {
+            let doc = baseline_attack_doc(class, 4);
+            let doc = if class == AttackClass::DetectedOnline {
+                // Keep the latency histogram consistent with the online
+                // count so the detection check is what fires.
+                let rendered = doc.render_doc().replacen("\"count\":0", "\"count\":4", 1);
+                Json::parse(&rendered).unwrap()
+            } else {
+                doc
+            };
+            let err = check_attack(&doc).unwrap_err();
+            assert!(err.contains("unprotected scheme reports"), "{err}");
+        }
+        // Effective tampers that all vanish without a trace are just as
+        // suspicious on an unprotected scheme.
+        let err = check_attack(&baseline_attack_doc(AttackClass::UndetectedNoop, 4)).unwrap_err();
+        assert!(err.contains("no observable outcome"), "{err}");
+    }
+
+    #[test]
+    fn attack_violation_list_must_match_total() {
+        let mut doc = attack_doc();
+        doc.set("total_violations", Json::U64(3));
+        let err = check_attack(&doc).unwrap_err();
+        assert!(err.contains("total_violations"), "{err}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scue-crashtest [--seed N] [--kills N] [--epochs N] \
-         [--ops-per-epoch N] [--scheme baseline|lazy|eager|plp|bmf|scue] \
+         [--ops-per-epoch N] [--scheme baseline|lazy|eager|plp|bmf|scue|phoenix|triad1|triad2|zuo|freij] \
          [--dir PATH] [--json PATH] [--jobs N]"
     );
     std::process::exit(2);

@@ -38,7 +38,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scue-mc [--blocks 2|3] [--ops N(1..=4)] [--seed N] \
-         [--scheme baseline|lazy|eager|plp|bmf|scue] [--max-states N] \
+         [--scheme baseline|lazy|eager|plp|bmf|scue|phoenix|triad1|triad2|zuo|freij] [--max-states N] \
          [--max-depth N] [--no-replay] [--jobs N] [--json PATH]"
     );
     std::process::exit(2);
@@ -102,6 +102,11 @@ fn parse_args_from(
                     "plp" => SchemeKind::Plp,
                     "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
                     "scue" => SchemeKind::Scue,
+                    "phoenix" => SchemeKind::Phoenix,
+                    "triad1" => SchemeKind::TriadL1,
+                    "triad2" => SchemeKind::TriadL2,
+                    "zuo" => SchemeKind::Zuo,
+                    "freij" => SchemeKind::Freij,
                     _ => return Err(format!("invalid value for --scheme: `{v}`")),
                 };
                 schemes = vec![scheme];

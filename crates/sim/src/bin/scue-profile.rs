@@ -40,7 +40,8 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: scue-profile [--scheme baseline|lazy|eager|plp|bmf|scue]...");
+    eprintln!("usage: scue-profile [--scheme baseline|lazy|eager|plp|bmf|scue");
+    eprintln!("                      |phoenix|triad1|triad2|zuo|freij]...");
     eprintln!("                    [--ops N] [--seed N] [--jobs N]");
     eprintln!("                    [--clock virtual|monotonic] [--top N]");
     eprintln!("                    [--json PATH] [--chrome-trace PATH]");
@@ -55,6 +56,11 @@ fn parse_scheme(s: &str) -> Option<SchemeKind> {
         "plp" => SchemeKind::Plp,
         "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
         "scue" => SchemeKind::Scue,
+        "phoenix" => SchemeKind::Phoenix,
+        "triad1" => SchemeKind::TriadL1,
+        "triad2" => SchemeKind::TriadL2,
+        "zuo" => SchemeKind::Zuo,
+        "freij" => SchemeKind::Freij,
         _ => return None,
     })
 }

@@ -43,7 +43,8 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: scue-simulate [--scheme baseline|lazy|eager|plp|bmf|scue]");
+    eprintln!("usage: scue-simulate [--scheme baseline|lazy|eager|plp|bmf|scue");
+    eprintln!("                       |phoenix|triad1|triad2|zuo|freij]");
     eprintln!("                     [--workload array|btree|hash|queue|rbtree|lbm|mcf|");
     eprintln!("                      libquantum|omnetpp|milc|soplex|gcc|bwaves]");
     eprintln!("                     [--ops N] [--seed N] [--hash-latency 20|40|80|160]");
@@ -61,6 +62,11 @@ fn parse_scheme(s: &str) -> Option<SchemeKind> {
         "plp" => SchemeKind::Plp,
         "bmf" | "bmf-ideal" => SchemeKind::BmfIdeal,
         "scue" => SchemeKind::Scue,
+        "phoenix" => SchemeKind::Phoenix,
+        "triad1" => SchemeKind::TriadL1,
+        "triad2" => SchemeKind::TriadL2,
+        "zuo" => SchemeKind::Zuo,
+        "freij" => SchemeKind::Freij,
         _ => return None,
     })
 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod config;
 pub mod crashtest;
 pub mod experiment;
@@ -35,6 +36,10 @@ pub mod report;
 pub mod runner;
 pub mod torture;
 
+pub use attack::{
+    AttackCampaignReport, AttackClass, AttackConfig, AttackKind, AttackSpec, ATTACK_DOC_KIND,
+    ATTACK_SCHEMA_VERSION,
+};
 pub use config::SystemConfig;
 pub use crashtest::{
     CrashtestConfig, CrashtestReport, DurableFaultKind, CRASHTEST_DOC_KIND,

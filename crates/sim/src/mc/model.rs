@@ -60,9 +60,18 @@ pub enum RootDiscipline {
 pub fn discipline(scheme: SchemeKind) -> RootDiscipline {
     match scheme {
         SchemeKind::Baseline => RootDiscipline::Unverified,
-        SchemeKind::Lazy => RootDiscipline::Stale,
-        SchemeKind::Eager => RootDiscipline::Deferred,
-        SchemeKind::Plp | SchemeKind::Scue => RootDiscipline::Atomic,
+        // Triad-NVM's persistence levels stop below the root, so like
+        // Lazy the trust base only moves on (never-modelled) top-level
+        // flushes.
+        SchemeKind::Lazy | SchemeKind::TriadL1 | SchemeKind::TriadL2 => RootDiscipline::Stale,
+        // Zuo's co-persistence covers counter+data; root propagation
+        // still rides an asynchronous queue like Eager.
+        SchemeKind::Eager | SchemeKind::Zuo => RootDiscipline::Deferred,
+        // Phoenix persists the whole updated branch inside the ack and
+        // Freij folds the root delta in synchronously: both atomic.
+        SchemeKind::Plp | SchemeKind::Scue | SchemeKind::Phoenix | SchemeKind::Freij => {
+            RootDiscipline::Atomic
+        }
         SchemeKind::BmfIdeal => RootDiscipline::PerLeaf,
     }
 }

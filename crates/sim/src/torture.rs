@@ -131,15 +131,36 @@ impl CaseSpec {
 
     /// Parses a `scheme:ops:crash_at:fault` replay spec.
     pub fn parse_replay(spec: &str) -> Option<(SchemeKind, CaseSpec)> {
+        Self::diagnose_replay(spec).ok()
+    }
+
+    /// [`CaseSpec::parse_replay`] with a diagnosis: the error names the
+    /// offending field and echoes the offending value.
+    pub fn diagnose_replay(spec: &str) -> Result<(SchemeKind, CaseSpec), String> {
         let mut parts = spec.split(':');
-        let scheme = parse_scheme_token(parts.next()?)?;
-        let ops = parts.next()?.parse().ok()?;
-        let crash_at = parts.next()?.parse().ok()?;
-        let fault = FaultKind::parse(parts.next()?)?;
-        if parts.next().is_some() {
-            return None;
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("replay spec is missing the {name} field"))
+        };
+        let scheme_str = field("scheme")?;
+        let scheme = parse_scheme_token(scheme_str)
+            .ok_or_else(|| format!("invalid scheme in replay spec: `{scheme_str}`"))?;
+        let ops_str = field("ops")?;
+        let ops = ops_str
+            .parse()
+            .map_err(|_| format!("invalid ops in replay spec: `{ops_str}`"))?;
+        let crash_str = field("crash_at")?;
+        let crash_at = crash_str
+            .parse()
+            .map_err(|_| format!("invalid crash_at in replay spec: `{crash_str}`"))?;
+        let fault_str = field("fault")?;
+        let fault = FaultKind::parse(fault_str)
+            .ok_or_else(|| format!("invalid fault in replay spec: `{fault_str}`"))?;
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing field in replay spec: `{extra}`"));
         }
-        Some((
+        Ok((
             scheme,
             CaseSpec {
                 ops,
@@ -158,6 +179,11 @@ pub(crate) fn scheme_token(scheme: SchemeKind) -> &'static str {
         SchemeKind::Plp => "plp",
         SchemeKind::BmfIdeal => "bmf",
         SchemeKind::Scue => "scue",
+        SchemeKind::Phoenix => "phoenix",
+        SchemeKind::TriadL1 => "triad1",
+        SchemeKind::TriadL2 => "triad2",
+        SchemeKind::Zuo => "zuo",
+        SchemeKind::Freij => "freij",
     }
 }
 
@@ -1023,19 +1049,42 @@ mod tests {
 
     #[test]
     fn replay_spec_round_trips() {
-        let case = CaseSpec {
-            ops: 120,
-            crash_at: 48_213,
-            fault: FaultKind::TornCounter,
-        };
         for scheme in SchemeKind::ALL {
-            let spec = case.replay_spec(scheme);
-            let (s, c) = CaseSpec::parse_replay(&spec).expect("own spec must parse");
-            assert_eq!((s, c), (scheme, case));
+            for fault in FaultKind::ALL {
+                let case = CaseSpec {
+                    ops: 120,
+                    crash_at: 48_213,
+                    fault,
+                };
+                let spec = case.replay_spec(scheme);
+                let (s, c) = CaseSpec::parse_replay(&spec).expect("own spec must parse");
+                assert_eq!((s, c), (scheme, case));
+                assert_eq!(c.replay_spec(s), spec, "parse→render identity");
+            }
         }
         assert!(CaseSpec::parse_replay("scue:1:2:bogus").is_none());
         assert!(CaseSpec::parse_replay("scue:1:2").is_none());
         assert!(CaseSpec::parse_replay("scue:1:2:none:extra").is_none());
+    }
+
+    #[test]
+    fn malformed_replay_specs_name_the_field_and_value() {
+        for (spec, field, value) in [
+            ("mercury:1:2:none", "scheme", "mercury"),
+            ("scue:many:2:none", "ops", "many"),
+            ("scue:1:late:none", "crash_at", "late"),
+            ("scue:1:2:bogus", "fault", "bogus"),
+            ("scue:1:2:none:extra", "trailing", "extra"),
+        ] {
+            let err = CaseSpec::diagnose_replay(spec).unwrap_err();
+            assert!(err.contains(field), "{err:?} must name {field}");
+            assert!(
+                err.contains(&format!("`{value}`")),
+                "{err:?} must show `{value}`"
+            );
+        }
+        let err = CaseSpec::diagnose_replay("scue:1:2").unwrap_err();
+        assert!(err.contains("fault"), "{err:?}");
     }
 
     #[test]

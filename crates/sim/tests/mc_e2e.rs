@@ -20,8 +20,9 @@ fn golden_path() -> PathBuf {
 }
 
 /// The machine-derived witness document committed as a golden: the
-/// model checker's counterexamples for the two window schemes at smoke
-/// scope, with their lowered replay specs and reproduction verdicts.
+/// model checker's counterexamples for every window scheme in the zoo
+/// (Lazy, Eager, Triad-L1/L2, Zuo) at smoke scope, with their lowered
+/// replay specs and reproduction verdicts.
 fn witness_doc(jobs: usize) -> String {
     let cfg = McConfig {
         search: SearchConfig {
@@ -30,7 +31,16 @@ fn witness_doc(jobs: usize) -> String {
         },
         ..McConfig::default()
     };
-    let report = mc::run(&cfg, &[SchemeKind::Lazy, SchemeKind::Eager]);
+    let report = mc::run(
+        &cfg,
+        &[
+            SchemeKind::Lazy,
+            SchemeKind::Eager,
+            SchemeKind::TriadL1,
+            SchemeKind::TriadL2,
+            SchemeKind::Zuo,
+        ],
+    );
     let full = report.to_json();
     let schemes = full
         .get("schemes")
@@ -127,5 +137,5 @@ fn every_golden_witness_reproduces_a_concrete_violation() {
             replayed += 1;
         }
     }
-    assert!(replayed >= 2, "golden must cover both window schemes");
+    assert!(replayed >= 5, "golden must cover all five window schemes");
 }

@@ -27,7 +27,7 @@ cargo run --release --offline -q -p scue-sim --bin scue-simulate -- \
 cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
     "$metrics_tmp/metrics.json"
 
-echo "==> crash-point torture smoke (scue-torture, 6 schemes x 200 points, --jobs 4)"
+echo "==> crash-point torture smoke (scue-torture, 11 schemes x 200 points, --jobs 4)"
 t0=$(date +%s%3N)
 cargo run --release --offline -q -p scue-sim --bin scue-torture -- \
     --seed 1 --points 200 --jobs 4 --json "$metrics_tmp/torture.json"
@@ -49,7 +49,7 @@ if ! diff <(strip_provenance "$metrics_tmp/torture.json") \
 fi
 echo "torture wall-clock: --jobs 4: $((t1 - t0)) ms, --jobs 1: $((t2 - t1)) ms"
 
-echo "==> kill-9 crash campaign smoke (scue-crashtest, 6 schemes x 7 real SIGKILLs)"
+echo "==> kill-9 crash campaign smoke (scue-crashtest, 11 schemes x 7 real SIGKILLs)"
 # Real child processes build a durable file-backed image, get SIGKILLed
 # at sampled checkpoint epochs (21 kills across SCUE/PLP/BMF), and must
 # reopen + recover + shadow-audit clean (exit 1 on any oracle violation).
@@ -78,12 +78,13 @@ if ! grep -q '"total_violations":0' results/crashtest_smoke.json; then
 fi
 echo "crashtest wall-clock: $((t4 - t3)) ms at --jobs 4"
 
-echo "==> exhaustive crash model-check smoke (scue-mc, 6 schemes at 2-block/3-op scope)"
-# The abstract persist-pipeline model, fully enumerated: SCUE/PLP/BMF
-# must verify clean across every reachable post-crash state, Lazy/Eager
-# must each yield counterexample witnesses, and every witness must
-# reproduce on the concrete engine (scue-mc exits 1 on any RCC witness
-# or failed reproduction).
+echo "==> exhaustive crash model-check smoke (scue-mc, 11 schemes at 2-block/3-op scope)"
+# The abstract persist-pipeline model, fully enumerated: the root-crash-
+# consistent schemes (SCUE/PLP/BMF/Phoenix/Freij) must verify clean
+# across every reachable post-crash state, the window schemes
+# (Lazy/Eager/Triad-L1/L2/Zuo) must each yield counterexample
+# witnesses, and every witness must reproduce on the concrete engine
+# (scue-mc exits 1 on any RCC witness or failed reproduction).
 t5=$(date +%s%3N)
 cargo run --release --offline -q -p scue-sim --bin scue-mc -- \
     --blocks 2 --ops 3 --jobs 4 --json "$metrics_tmp/mc.json"
@@ -91,14 +92,14 @@ t6=$(date +%s%3N)
 cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
     "$metrics_tmp/mc.json"
 # A truncated search proves nothing — the smoke scope must be
-# exhaustive, and witnesses must come from exactly the two window
-# schemes (four of the six schemes report zero).
+# exhaustive, and witnesses must come from exactly the five window
+# schemes (six of the eleven schemes report zero).
 if grep -q '"exhaustive":false' "$metrics_tmp/mc.json"; then
     echo "ERROR: scue-mc smoke search was truncated" >&2
     exit 1
 fi
-if [ "$(grep -o '"witnesses":0' "$metrics_tmp/mc.json" | wc -l)" -ne 4 ]; then
-    echo "ERROR: expected witnesses from exactly the two window schemes (Lazy, Eager)" >&2
+if [ "$(grep -o '"witnesses":0' "$metrics_tmp/mc.json" | wc -l)" -ne 6 ]; then
+    echo "ERROR: expected witnesses from exactly the five window schemes" >&2
     exit 1
 fi
 
@@ -121,6 +122,45 @@ if ! diff <(strip_provenance "$metrics_tmp/mc.json") \
     exit 1
 fi
 echo "model-check wall-clock: --jobs 4: $((t6 - t5)) ms, --jobs 1: $((t7 - t6)) ms"
+
+echo "==> seeded attack campaign smoke (scue-attack, 11 schemes x 10 attacks, --jobs 4)"
+# Replay/rollback/splice/dummy-counter tampering injected mid-run: every
+# integrity-protected scheme must detect each effective tamper (online,
+# at recovery, or on the post-recovery audit — scue-attack exits 1 on
+# any oracle violation), while Baseline must show only the silent
+# corruption the paper's Table I predicts.
+t8=$(date +%s%3N)
+cargo run --release --offline -q -p scue-sim --bin scue-attack -- \
+    --seed 1 --points 10 --jobs 4 --json "$metrics_tmp/attack.json"
+t9=$(date +%s%3N)
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    "$metrics_tmp/attack.json"
+# Every secure scheme must post a nonempty online detection-latency
+# distribution; Baseline (which never detects) is the only empty one.
+if [ "$(grep -o '"detection_latency":{"count":0' "$metrics_tmp/attack.json" | wc -l)" -ne 1 ]; then
+    echo "ERROR: expected an empty detection-latency histogram on Baseline only" >&2
+    exit 1
+fi
+
+echo "==> attack determinism: --jobs 1 vs --jobs 4 + committed artefact"
+cargo run --release --offline -q -p scue-sim --bin scue-attack -- \
+    --seed 1 --points 10 --jobs 1 --json "$metrics_tmp/attack_serial.json" > /dev/null
+t10=$(date +%s%3N)
+if ! diff <(strip_provenance "$metrics_tmp/attack.json") \
+          <(strip_provenance "$metrics_tmp/attack_serial.json"); then
+    echo "ERROR: scue-attack payload differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+# The campaign is fully deterministic, so the committed artefact is
+# diffed against the fresh run, not merely validated.
+cargo run --release --offline -q -p scue-sim --bin scue-check-metrics -- \
+    results/attack_smoke.json
+if ! diff <(strip_provenance "$metrics_tmp/attack.json") \
+          <(strip_provenance results/attack_smoke.json); then
+    echo "ERROR: committed results/attack_smoke.json diverged from a fresh run" >&2
+    exit 1
+fi
+echo "attack wall-clock: --jobs 4: $((t9 - t8)) ms, --jobs 1: $((t10 - t9)) ms"
 
 echo "==> span-profiler smoke (scue-profile, monotonic clock, coverage >= 90%)"
 # check-metrics enforces the attribution budget on monotonic documents:

@@ -10,6 +10,7 @@
 //! ```
 
 use scue_bench::{hash_rows_to_json, rows_to_json};
+use scue_sim::attack::{self, AttackConfig};
 use scue_sim::experiment::{
     comparison_grid, hash_latency_sweep, metadata_accesses_vs_lazy, Metric,
 };
@@ -142,6 +143,25 @@ fn torture_campaign_is_jobs_invariant() {
     };
     assert_jobs_invariant("torture_campaign.json", |jobs| {
         torture::campaign_with_jobs(&cfg, 100, &scue::SchemeKind::ALL, jobs)
+            .to_json()
+            .render_doc()
+    });
+}
+
+#[test]
+fn attack_campaign_is_jobs_invariant() {
+    // The full scheme-zoo attack battery: every scheme faces the whole
+    // tamper taxonomy at sampled injection points, each (scheme, spec)
+    // cell fanned out, violations minimised in-cell. The golden pins
+    // the Table I detection story — latency histograms on every secure
+    // scheme, silent corruption only on Baseline.
+    let cfg = AttackConfig {
+        seed: 7,
+        ops: 64,
+        drive_ops: 120,
+    };
+    assert_jobs_invariant("attack_campaign.json", |jobs| {
+        attack::campaign_with_jobs(&cfg, 8, &scue::SchemeKind::ALL, jobs)
             .to_json()
             .render_doc()
     });
